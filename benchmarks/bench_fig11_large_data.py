@@ -1,0 +1,92 @@
+"""Figure 11: the three fastest in situ transports at 10x data size
+(1e7 grid points + 1e7 particles per producer process, Cori Haswell).
+
+Paper result: the trends of the smaller runs hold -- LowFive remains as
+fast as hand-written MPI and ~20% slower than DataSpaces at the largest
+scale (0.55 TiB total).
+"""
+
+import pytest
+
+from conftest import PAPER_SCALES, executed_workload
+from repro.bench import (
+    ascii_loglog,
+    format_series_table,
+    run_dataspaces,
+    run_lowfive_memory,
+    run_pure_mpi,
+    write_result,
+)
+from repro.perfmodel import (
+    CORI_HASWELL,
+    dataspaces_time,
+    lowfive_memory_time,
+    pure_mpi_time,
+)
+from repro.synth import SyntheticWorkload
+
+SCALES = [P for P in PAPER_SCALES if P <= 4096]
+WL10 = SyntheticWorkload(grid_points_per_proc=10**7,
+                         particles_per_proc=10**7)
+
+
+def fig11_series():
+    lf, ds, mpi = [], [], []
+    for P in SCALES:
+        nprod, ncons = WL10.split_procs(P)
+        lf.append(lowfive_memory_time(nprod, ncons, WL10, CORI_HASWELL))
+        ds.append(dataspaces_time(nprod, ncons, WL10, CORI_HASWELL))
+        mpi.append(pure_mpi_time(nprod, ncons, WL10, CORI_HASWELL))
+    return lf, ds, mpi
+
+
+def test_fig11_regenerate(benchmark, exec_wl):
+    lf, ds, mpi = fig11_series()
+    text = format_series_table(
+        SCALES,
+        {"LowFive Memory Mode": lf, "DataSpaces": ds, "MPI": mpi},
+        title="Figure 11: weak scaling at 10x data (1e7+1e7 per producer "
+              "proc, 0.55 TiB at 4K), LowFive vs DataSpaces vs MPI "
+              "(modeled, Cori Haswell)",
+    )
+
+    # Total data at the largest scale ~0.55 TiB (paper).
+    nprod, _ = WL10.split_procs(4096)
+    assert abs(WL10.total_bytes(nprod) / 2**40 - 0.55) < 0.06
+
+    # Trends stay true at 10x: LowFive ~= MPI, DataSpaces ahead by
+    # a modest factor (paper: ~20% at the largest scale).
+    for l, m in zip(lf, mpi):
+        assert abs(l - m) / m < 0.15
+    assert all(d < l for d, l in zip(ds, lf))
+    assert 1.1 < lf[-1] / ds[-1] < 2.0
+
+    # Executed validation at a 10x-shaped (but reduced) workload.
+    wl_exec = SyntheticWorkload(
+        grid_points_per_proc=10 * exec_wl.grid_points_per_proc,
+        particles_per_proc=10 * exec_wl.particles_per_proc,
+    )
+    plot = ascii_loglog(
+        SCALES,
+        {"LowFive Memory Mode": lf, "DataSpaces": ds, "MPI": mpi},
+        title="Figure 11 (reproduced, log-log)",
+    )
+    lines = [text, plot,
+             "Executed validation (reduced 10x workload, simmpi):"]
+    for P in (4, 8):
+        nprod, ncons = wl_exec.split_procs(P)
+        ex_lf = run_lowfive_memory(nprod, ncons, wl_exec, CORI_HASWELL)
+        ex_ds = run_dataspaces(nprod, ncons, wl_exec, CORI_HASWELL)
+        ex_mpi = run_pure_mpi(nprod, ncons, wl_exec, CORI_HASWELL)
+        assert ex_ds.vtime < ex_lf.vtime
+        lines.append(
+            f"  P={P:3d}: executed LowFive {ex_lf.vtime:8.3f}s, "
+            f"DataSpaces {ex_ds.vtime:8.3f}s, MPI {ex_mpi.vtime:8.3f}s"
+        )
+    write_result("fig11_large_data.txt", "\n".join(lines) + "\n")
+
+    nprod, ncons = wl_exec.split_procs(4)
+    benchmark.pedantic(
+        lambda: run_lowfive_memory(nprod, ncons, wl_exec, CORI_HASWELL),
+        rounds=2, iterations=1,
+    )

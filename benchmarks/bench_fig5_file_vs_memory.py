@@ -1,0 +1,80 @@
+"""Figure 5: LowFive file mode vs memory mode, weak scaling (Theta).
+
+Modeled series at the paper's scales (file mode terminated at 1024, as
+in the paper), plus executed validation points with a reduced workload.
+"""
+
+import pytest
+
+from conftest import EXECUTED_SCALES, PAPER_SCALES, executed_workload
+from repro.bench import (
+    ascii_loglog,
+    format_series_table,
+    run_lowfive_file,
+    run_lowfive_memory,
+    write_result,
+)
+from repro.perfmodel import THETA_KNL, lowfive_file_time, lowfive_memory_time
+from repro.synth import SyntheticWorkload
+
+FILE_MODE_CUTOFF = 1024  # paper: "terminated ... because of the long run time"
+
+
+def fig5_series():
+    wl = SyntheticWorkload()
+    file_mode, memory_mode = [], []
+    for P in PAPER_SCALES:
+        nprod, ncons = wl.split_procs(P)
+        memory_mode.append(lowfive_memory_time(nprod, ncons, wl, THETA_KNL))
+        file_mode.append(
+            lowfive_file_time(nprod, ncons, wl, THETA_KNL)
+            if P <= FILE_MODE_CUTOFF else None
+        )
+    return file_mode, memory_mode
+
+
+def test_fig5_regenerate(benchmark, exec_wl):
+    file_mode, memory_mode = fig5_series()
+    text = format_series_table(
+        PAPER_SCALES,
+        {"LowFive File Mode": file_mode, "LowFive Memory Mode": memory_mode},
+        title="Figure 5: weak scaling, LowFive file vs memory mode "
+              "(modeled, Theta KNL; file mode terminated at 1K as in the "
+              "paper)",
+    )
+
+    # Shape assertions from the paper.
+    for f, m in zip(file_mode, memory_mode):
+        if f is not None:
+            assert f > m
+    assert file_mode[4] > 30 * memory_mode[4]       # orders apart at 1K
+    assert memory_mode[-1] < 4 * memory_mode[0]     # memory rises slowly
+    assert 1.0 < memory_mode[-1] < 10.0             # ~3s at 16K in paper
+
+    plot = ascii_loglog(
+        PAPER_SCALES,
+        {"LowFive File Mode": file_mode, "LowFive Memory Mode": memory_mode},
+        title="Figure 5 (reproduced, log-log)",
+    )
+
+    # Executed validation points (reduced workload, real data moved).
+    lines = [text, plot, "Executed validation (reduced workload, simmpi):"]
+    for P in EXECUTED_SCALES:
+        nprod, ncons = exec_wl.split_procs(P)
+        mem = run_lowfive_memory(nprod, ncons, exec_wl)
+        fil = run_lowfive_file(nprod, ncons, exec_wl)
+        model_mem = lowfive_memory_time(nprod, ncons, exec_wl)
+        assert fil.vtime > mem.vtime
+        assert model_mem == pytest.approx(mem.vtime, rel=0.4)
+        lines.append(
+            f"  P={P:3d}: executed memory {mem.vtime:8.3f}s "
+            f"(model {model_mem:8.3f}s), executed file {fil.vtime:8.3f}s"
+        )
+    write_result("fig5_file_vs_memory.txt", "\n".join(lines) + "\n")
+
+    # Benchmark target: one executed memory-mode point.
+    nprod, ncons = exec_wl.split_procs(8)
+    benchmark.pedantic(
+        lambda: run_lowfive_memory(nprod, ncons, exec_wl),
+        rounds=3, iterations=1,
+    )

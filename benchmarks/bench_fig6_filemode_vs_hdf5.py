@@ -1,0 +1,70 @@
+"""Figure 6: LowFive file mode vs pure HDF5 file I/O, weak scaling.
+
+Paper result: LowFive's overhead over pure HDF5 is largest at mid scale
+(~2x at 64 procs) and vanishes within run-to-run variance at 1024.
+"""
+
+import pytest
+
+from conftest import EXECUTED_SCALES, PAPER_SCALES, executed_workload
+from repro.bench import (
+    ascii_loglog,
+    format_series_table,
+    run_lowfive_file,
+    run_pure_hdf5,
+    write_result,
+)
+from repro.perfmodel import THETA_KNL, lowfive_file_time, pure_hdf5_time
+from repro.synth import SyntheticWorkload
+
+SCALES = [P for P in PAPER_SCALES if P <= 1024]  # paper stops at 1024
+
+
+def fig6_series():
+    wl = SyntheticWorkload()
+    lf, h5 = [], []
+    for P in SCALES:
+        nprod, ncons = wl.split_procs(P)
+        lf.append(lowfive_file_time(nprod, ncons, wl, THETA_KNL))
+        h5.append(pure_hdf5_time(nprod, ncons, wl, THETA_KNL))
+    return lf, h5
+
+
+def test_fig6_regenerate(benchmark, exec_wl):
+    lf, h5 = fig6_series()
+    text = format_series_table(
+        SCALES,
+        {"LowFive File Mode": lf, "Pure HDF5": h5},
+        title="Figure 6: weak scaling, LowFive file mode vs pure HDF5 "
+              "(modeled, Theta KNL)",
+    )
+
+    ratios = [a / b for a, b in zip(lf, h5)]
+    # Overhead is bounded (paper: at most ~2x) ...
+    assert all(1.0 < r < 2.5 for r in ratios)
+    # ... and converges at scale (within-variance at 1024).
+    assert ratios[-1] < max(ratios)
+    assert ratios[-1] < 1.2
+
+    plot = ascii_loglog(
+        SCALES, {"LowFive File Mode": lf, "Pure HDF5": h5},
+        title="Figure 6 (reproduced, log-log)",
+    )
+    lines = [text, plot, "Executed validation (reduced workload, simmpi):"]
+    for P in EXECUTED_SCALES:
+        nprod, ncons = exec_wl.split_procs(P)
+        ex_lf = run_lowfive_file(nprod, ncons, exec_wl)
+        ex_h5 = run_pure_hdf5(nprod, ncons, exec_wl)
+        assert ex_lf.vtime > ex_h5.vtime  # overhead exists
+        lines.append(
+            f"  P={P:3d}: executed LowFive-file {ex_lf.vtime:8.3f}s, "
+            f"pure HDF5 {ex_h5.vtime:8.3f}s, "
+            f"overhead {ex_lf.vtime / ex_h5.vtime:5.2f}x"
+        )
+    write_result("fig6_filemode_vs_hdf5.txt", "\n".join(lines) + "\n")
+
+    nprod, ncons = exec_wl.split_procs(8)
+    benchmark.pedantic(
+        lambda: run_pure_hdf5(nprod, ncons, exec_wl),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,80 @@
+"""Figure 8: LowFive memory mode vs DataSpaces, weak scaling (Cori
+Haswell).
+
+Paper result: DataSpaces is consistently faster (it uses dedicated
+staging ranks, metadata-only put_local, and avoids LowFive's file-close
+synchronization); the gap at 4K processes is ~0.5 s, and the two curves
+are roughly parallel.
+"""
+
+import pytest
+
+from conftest import EXECUTED_SCALES, PAPER_SCALES, executed_workload
+from repro.bench import (
+    ascii_loglog,
+    format_series_table,
+    run_dataspaces,
+    run_lowfive_memory,
+    write_result,
+)
+from repro.perfmodel import CORI_HASWELL, dataspaces_time, lowfive_memory_time
+from repro.synth import SyntheticWorkload
+
+SCALES = [P for P in PAPER_SCALES if P <= 4096]  # paper stops at 4K
+#: "At full scale, we used 4 additional compute nodes for the
+#: DataSpaces server."
+STAGING_RANKS = 4
+
+
+def fig8_series():
+    wl = SyntheticWorkload()
+    lf, ds = [], []
+    for P in SCALES:
+        nprod, ncons = wl.split_procs(P)
+        lf.append(lowfive_memory_time(nprod, ncons, wl, CORI_HASWELL))
+        ds.append(dataspaces_time(nprod, ncons, wl, CORI_HASWELL,
+                                  nservers=STAGING_RANKS))
+    return lf, ds
+
+
+def test_fig8_regenerate(benchmark, exec_wl):
+    lf, ds = fig8_series()
+    text = format_series_table(
+        SCALES,
+        {"LowFive Memory Mode": lf, "DataSpaces": ds},
+        title="Figure 8: weak scaling, LowFive memory mode vs DataSpaces "
+              f"(modeled, Cori Haswell; DataSpaces uses {STAGING_RANKS} "
+              "extra staging ranks)",
+    )
+
+    # DataSpaces consistently faster; ~0.5s gap at 4K; parallel curves.
+    assert all(d < l for d, l in zip(ds, lf))
+    assert 0.3 < lf[-1] - ds[-1] < 0.8
+    ratios = [l / d for l, d in zip(lf, ds)]
+    assert max(ratios) / min(ratios) < 1.6
+    # Sub-2s absolute range, as in the paper's Haswell plot.
+    assert lf[-1] < 2.0
+
+    plot = ascii_loglog(
+        SCALES, {"LowFive Memory Mode": lf, "DataSpaces": ds},
+        title="Figure 8 (reproduced, log-log)",
+    )
+    lines = [text, plot, "Executed validation (reduced workload, simmpi):"]
+    for P in EXECUTED_SCALES:
+        nprod, ncons = exec_wl.split_procs(P)
+        ex_lf = run_lowfive_memory(nprod, ncons, exec_wl, CORI_HASWELL)
+        ex_ds = run_dataspaces(nprod, ncons, exec_wl, CORI_HASWELL,
+                               nservers=2)
+        assert ex_ds.vtime < ex_lf.vtime
+        lines.append(
+            f"  P={P:3d}: executed LowFive {ex_lf.vtime:8.3f}s, "
+            f"DataSpaces {ex_ds.vtime:8.3f}s (+2 staging ranks)"
+        )
+    write_result("fig8_memory_vs_dataspaces.txt", "\n".join(lines) + "\n")
+
+    nprod, ncons = exec_wl.split_procs(8)
+    benchmark.pedantic(
+        lambda: run_dataspaces(nprod, ncons, exec_wl, CORI_HASWELL,
+                               nservers=2),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,83 @@
+"""Figure 9: LowFive memory mode vs Bredala, weak scaling (Theta).
+
+Paper result: Bredala's contiguous policy handles the particle list
+reasonably, but its bounding-box policy on the grid blows up at scale
+(index computation/communication dominates), so LowFive is much faster
+overall. The figure plots Bredala total, grid-only, and particles-only.
+"""
+
+import pytest
+
+from conftest import EXECUTED_SCALES, PAPER_SCALES, executed_workload
+from repro.bench import (
+    ascii_loglog,
+    format_series_table,
+    run_bredala,
+    run_lowfive_memory,
+    write_result,
+)
+from repro.perfmodel import THETA_KNL, bredala_times, lowfive_memory_time
+from repro.synth import SyntheticWorkload
+
+SCALES = [P for P in PAPER_SCALES if P <= 4096]  # paper stops at 4K
+
+
+def fig9_series():
+    wl = SyntheticWorkload()
+    lf, total, grid, parts = [], [], [], []
+    for P in SCALES:
+        nprod, ncons = wl.split_procs(P)
+        lf.append(lowfive_memory_time(nprod, ncons, wl, THETA_KNL))
+        br = bredala_times(nprod, ncons, wl, THETA_KNL)
+        total.append(br["total"])
+        grid.append(br["grid"])
+        parts.append(br["particles"])
+    return lf, total, grid, parts
+
+
+def test_fig9_regenerate(benchmark, exec_wl):
+    lf, total, grid, parts = fig9_series()
+    text = format_series_table(
+        SCALES,
+        {
+            "LowFive Memory Mode": lf,
+            "Bredala total (grid+particles)": total,
+            "Bredala grid": grid,
+            "Bredala particles": parts,
+        },
+        title="Figure 9: weak scaling, LowFive memory mode vs Bredala "
+              "(modeled, Theta KNL)",
+    )
+
+    # LowFive much faster overall; gap explodes at scale.
+    assert all(l < t for l, t in zip(lf, total))
+    assert total[-1] > 20 * lf[-1]
+    # The grid (bbox policy) is the culprit, not the particles.
+    assert grid[-1] > 20 * parts[-1]
+    assert parts[-1] < 5 * parts[0]
+    # Magnitudes: paper shows ~200s Bredala total at 4K vs ~2.7s LowFive.
+    assert 50 < total[-1] < 500
+
+    plot = ascii_loglog(
+        SCALES,
+        {"LowFive Memory Mode": lf, "Bredala total": total,
+         "Bredala grid": grid, "Bredala particles": parts},
+        title="Figure 9 (reproduced, log-log)",
+    )
+    lines = [text, plot, "Executed validation (reduced workload, simmpi):"]
+    for P in EXECUTED_SCALES:
+        nprod, ncons = exec_wl.split_procs(P)
+        ex_lf = run_lowfive_memory(nprod, ncons, exec_wl)
+        ex_br = run_bredala(nprod, ncons, exec_wl)
+        assert ex_lf.vtime < ex_br.vtime
+        lines.append(
+            f"  P={P:3d}: executed LowFive {ex_lf.vtime:8.3f}s, "
+            f"Bredala {ex_br.vtime:8.3f}s"
+        )
+    write_result("fig9_memory_vs_bredala.txt", "\n".join(lines) + "\n")
+
+    nprod, ncons = exec_wl.split_procs(8)
+    benchmark.pedantic(
+        lambda: run_bredala(nprod, ncons, exec_wl),
+        rounds=3, iterations=1,
+    )

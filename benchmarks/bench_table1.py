@@ -1,0 +1,62 @@
+"""Table I: process counts and data sizes of the weak-scaling benchmark.
+
+Regenerates the configuration table (total processes, producer/consumer
+split, grid points, particles, total GiB) from the workload definitions,
+and benchmarks the workload generator itself.
+"""
+
+import numpy as np
+
+from conftest import PAPER_SCALES, executed_workload
+from repro.bench import format_table, write_result
+from repro.synth import (
+    SyntheticWorkload,
+    grid_values,
+    producer_grid_selection,
+)
+
+
+def table1_rows(wl: SyntheticWorkload):
+    rows = []
+    for total in PAPER_SCALES:
+        nprod, ncons = wl.split_procs(total)
+        rows.append([
+            total,
+            nprod,
+            ncons,
+            f"{wl.total_grid_points(nprod):.1e}",
+            f"{wl.total_particles(nprod):.1e}",
+            round(wl.total_bytes(nprod) / 2**30, 2),
+        ])
+    return rows
+
+
+def test_table1_regenerate(benchmark):
+    wl = SyntheticWorkload()  # the paper's 1e6 + 1e6 per producer proc
+    rows = table1_rows(wl)
+    text = format_table(
+        ["Total #MPI Procs.", "#Producer Procs.", "#Consumer Procs.",
+         "Total #Grid Points", "Total #Particles", "Total Data Size (GiB)"],
+        rows,
+        title="Table I: processes and data sizes, 1 producer + 1 consumer "
+              "task (3:1 split, 1e6 grid points + 1e6 particles per "
+              "producer process)",
+    )
+    write_result("table1_configuration.txt", text)
+
+    # Sanity against the paper's printed row: 1024 procs -> 14.34 GiB.
+    row_1024 = dict(zip((4, 16, 64, 256, 1024, 4096, 16384),
+                        rows))[1024]
+    assert row_1024[1] == 768 and row_1024[2] == 256
+    assert abs(row_1024[5] - 14.34) / 14.34 < 0.02
+
+    # Benchmark target: generating one producer's grid values.
+    wl_exec = executed_workload()
+    shape = wl_exec.grid_shape(3)
+    sel = producer_grid_selection(shape, 0, 3)
+
+    def gen():
+        return grid_values(sel, shape)
+
+    vals = benchmark(gen)
+    assert vals.dtype == np.uint64

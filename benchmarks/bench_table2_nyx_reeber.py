@@ -1,0 +1,134 @@
+"""Table II: the Nyx-Reeber cosmology use case (Cori KNL).
+
+Modeled at the paper's configuration (4096 Nyx + 1024 Reeber processes,
+grids 256^3 ... 2048^3, two snapshots), plus an executed end-to-end run
+of the proxy pipeline at test scale with halo validation.
+"""
+
+import numpy as np
+import pytest
+
+import repro.h5 as h5
+from conftest import executed_workload
+from repro.bench import format_table, write_result
+from repro.cosmo import NyxProxy, write_snapshot_h5
+from repro.cosmo.nyx import DENSITY_PATH
+from repro.cosmo.plotfile import write_plotfile
+from repro.cosmo.reeber import find_halos_distributed, find_halos_serial
+from repro.diy import Bounds, RegularDecomposer
+from repro.h5.native import NativeVOL
+from repro.lowfive import DistMetadataVOL
+from repro.perfmodel import THETA_KNL
+from repro.perfmodel.nyx_reeber import table2_rows
+from repro.pfs import PFSStore
+from repro.simmpi import run_world
+from repro.workflow import Workflow
+
+
+def test_table2_regenerate(benchmark):
+    rows = table2_rows()
+    table = format_table(
+        ["Data Size", "LowFive Write", "LowFive Read", "HDF5 Write",
+         "HDF5 Read", "Plotfiles Write", "LowFive vs HDF5",
+         "LowFive vs Plotfiles"],
+        [[f"{r['grid']}^3", r["lowfive_write"], r["lowfive_read"],
+          r["hdf5_write"], r["hdf5_read"], r["plotfile_write"],
+          r["speedup_vs_hdf5"], r["speedup_vs_plotfiles"]] for r in rows],
+        title="Table II: Nyx-Reeber use case, modeled at 4096+1024 procs "
+              "(Cori KNL), 2 snapshots; 'x' = did not finish in 1.5 h",
+    )
+
+    by_grid = {r["grid"]: r for r in rows}
+    # Paper shapes: HDF5 DNF at 2048^3; speedups grow with the grid;
+    # plotfiles sit between HDF5 and LowFive.
+    assert by_grid[2048]["hdf5_write"] is None
+    assert by_grid[1024]["speedup_vs_hdf5"] > 100
+    assert by_grid[2048]["speedup_vs_plotfiles"] > 10
+    sp = [by_grid[g]["speedup_vs_hdf5"] for g in (256, 512, 1024)]
+    assert sp[0] < sp[1] < sp[2]
+
+    # Executed end-to-end pipeline at test scale, with halo validation.
+    n, threshold = 16, 2.0
+    serial = NyxProxy(n, None, seed=11, max_grid_size=8)
+    dens = serial.advance()
+    full = np.zeros((n, n, n))
+    for bid in dens.local_box_ids:
+        box = dens.boxarray[bid]
+        full[tuple(slice(l, h) for l, h in zip(box.min, box.max))] = \
+            dens.fab(bid)
+    expected = [h_.round() for h_ in find_halos_serial(full, threshold)]
+
+    def nyx(ctx):
+        def make():
+            vol = DistMetadataVOL(comm=ctx.comm,
+                                  under=NativeVOL(PFSStore()))
+            vol.set_memory("plt.h5")
+            vol.serve_on_close("plt.h5", ctx.intercomm("reeber"))
+            return vol
+
+        vol = ctx.singleton("vol", make)
+        sim = NyxProxy(n, ctx.comm, seed=11, max_grid_size=8)
+        density = sim.advance()
+        write_snapshot_h5("plt.h5", density, ctx.comm, vol, step=0)
+
+    def reeber(ctx):
+        def make():
+            vol = DistMetadataVOL(comm=ctx.comm,
+                                  under=NativeVOL(PFSStore()))
+            vol.set_memory("plt.h5")
+            vol.set_consumer("plt.h5", ctx.intercomm("nyx"))
+            return vol
+
+        vol = ctx.singleton("vol", make)
+        f = h5.File("plt.h5", "r", comm=ctx.comm, vol=vol)
+        dset = f[DENSITY_PATH]
+        dec = RegularDecomposer(dset.shape, ctx.size)
+        b = dec.block_bounds(ctx.rank) if ctx.rank < dec.ngrid_blocks \
+            else Bounds([0, 0, 0], [0, 0, 0])
+        block = np.asarray(dset.read(b.to_selection(dset.shape)))
+        f.close()
+        halos = find_halos_distributed(ctx.comm, block, b, dset.shape,
+                                       threshold)
+        return [h_.round() for h_ in halos]
+
+    def run_pipeline():
+        wf = Workflow()
+        wf.add_task("nyx", 4, nyx)
+        wf.add_task("reeber", 2, reeber)
+        wf.add_link("nyx", "reeber")
+        return wf.run(model=THETA_KNL.net)
+
+    res = benchmark.pedantic(run_pipeline, rounds=2, iterations=1)
+    for halos in res.returns["reeber"]:
+        assert halos == expected
+
+    lines = [table,
+             f"Executed validation: 16^3 proxy pipeline, 4 Nyx + 2 Reeber "
+             f"ranks, {len(expected)} halos found in situ, matching the "
+             f"serial reference (vtime {res.vtime:.3f}s)."]
+    write_result("table2_nyx_reeber.txt", "\n".join(lines) + "\n")
+
+
+def test_table2_plotfile_baseline_executes(benchmark):
+    """The plotfile write path really runs (the Table II column)."""
+    store = PFSStore()
+
+    def main(comm):
+        sim = NyxProxy(16, comm, seed=4, max_grid_size=8)
+        density = sim.advance()
+        write_plotfile(store, "plt00000", density, comm, step=0, nfiles=2)
+        return True
+
+    def run():
+        s2 = PFSStore()
+
+        def m(comm):
+            sim = NyxProxy(16, comm, seed=4, max_grid_size=8)
+            write_plotfile(s2, "plt", sim.advance(), comm, step=0, nfiles=2)
+
+        return run_world(4, m)
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.vtime > 0
+    run_world(4, main)
+    assert any(name.startswith("plt00000/") for name in store.listdir())

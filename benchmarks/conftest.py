@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Every ``bench_*`` file regenerates one table or figure of the paper and
+exposes at least one pytest-benchmark target measuring the executed
+(simmpi) run that validates the modeled series.
+
+Environment knobs:
+
+- ``REPRO_BENCH_ELEMS`` (default 300000): per-process element count of
+  executed validation runs. Large enough that per-element software
+  costs dominate (the regime of the paper's 1e6-element runs, where
+  LowFive's orderings vs the baselines hold); the full 1e6 works too,
+  just slower.
+- ``REPRO_RESULTS_DIR`` (default ``results``): where regenerated tables
+  are written.
+"""
+
+import os
+
+import pytest
+
+from repro.synth import SyntheticWorkload
+
+#: The paper's weak-scaling process counts (Table I).
+PAPER_SCALES = [4, 16, 64, 256, 1024, 4096, 16384]
+
+#: Scales small enough to execute with one thread per rank.
+EXECUTED_SCALES = [4, 8, 16]
+
+
+def executed_workload() -> SyntheticWorkload:
+    n = int(os.environ.get("REPRO_BENCH_ELEMS", "300000"))
+    return SyntheticWorkload(grid_points_per_proc=n, particles_per_proc=n)
+
+
+@pytest.fixture
+def exec_wl():
+    return executed_workload()

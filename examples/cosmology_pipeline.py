@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Cosmology pipeline: a Nyx-like simulation coupled in situ to a
+Reeber-like halo finder (the paper's Sec. IV-C use case).
+
+The simulation evolves particles on an AMReX-style box array and writes
+baryon-density snapshots through unmodified h5 calls; the analysis task
+reads each snapshot in situ and reports the halos it finds. Compare the
+same pipeline through physical files by passing ``--file-mode``.
+
+Run:  python examples/cosmology_pipeline.py [--file-mode]
+"""
+
+import argparse
+
+import numpy as np
+
+import repro.h5 as h5
+from repro.cosmo import NyxProxy, find_halos_distributed, write_snapshot_h5
+from repro.cosmo.nyx import DENSITY_PATH
+from repro.diy import Bounds, RegularDecomposer
+from repro.h5.native import NativeVOL
+from repro.lowfive import DistMetadataVOL
+from repro.pfs import PFSStore
+from repro.workflow import Workflow
+
+GRID_SIZE = 32
+STEPS = 2
+THRESHOLD = 2.5
+STORE = PFSStore()  # the simulated parallel file system (shared)
+
+
+def make_vol(ctx, role, peer, file_mode):
+    def factory():
+        vol = DistMetadataVOL(comm=ctx.comm, under=NativeVOL(STORE))
+        if file_mode:
+            vol.set_passthru("snap_*.h5")  # transport via the PFS
+        else:
+            vol.set_memory("snap_*.h5")    # transport in situ
+        if role == "producer":
+            vol.serve_on_close("snap_*.h5", ctx.intercomm(peer))
+        else:
+            vol.set_consumer("snap_*.h5", ctx.intercomm(peer))
+        return vol
+
+    return ctx.singleton("vol", factory)
+
+
+def nyx_task(file_mode):
+    def run(ctx):
+        vol = make_vol(ctx, "producer", "reeber", file_mode)
+        sim = NyxProxy(GRID_SIZE, ctx.comm, seed=7, max_grid_size=8)
+        for step in range(STEPS):
+            density = sim.advance()
+            write_snapshot_h5(f"snap_{step}.h5", density, ctx.comm, vol,
+                              step=step)
+            if ctx.rank == 0:
+                print(f"[nyx] snapshot {step} written "
+                      f"({'file' if file_mode else 'in situ'})")
+    return run
+
+
+def reeber_task(file_mode):
+    def run(ctx):
+        vol = make_vol(ctx, "consumer", "nyx", file_mode)
+        halo_counts = []
+        for step in range(STEPS):
+            f = h5.File(f"snap_{step}.h5", "r", comm=ctx.comm, vol=vol)
+            dset = f[DENSITY_PATH]
+            dec = RegularDecomposer(dset.shape, ctx.size)
+            if ctx.rank < dec.ngrid_blocks:
+                b = dec.block_bounds(ctx.rank)
+            else:
+                b = Bounds([0] * 3, [0] * 3)
+            block = np.asarray(dset.read(b.to_selection(dset.shape)))
+            f.close()
+            halos = find_halos_distributed(ctx.comm, block, b, dset.shape,
+                                           THRESHOLD)
+            halo_counts.append(len(halos))
+            if ctx.rank == 0:
+                top = halos[:3]
+                print(f"[reeber] step {step}: {len(halos)} halos; top by "
+                      f"mass: "
+                      + ", ".join(f"m={h_.mass:.0f}@{h_.peak_cell}"
+                                  for h_ in top))
+        return halo_counts
+    return run
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--file-mode", action="store_true",
+                    help="transport snapshots via the (simulated) PFS "
+                         "instead of in situ")
+    args = ap.parse_args()
+
+    wf = Workflow()
+    wf.add_task("nyx", nprocs=6, main=nyx_task(args.file_mode))
+    wf.add_task("reeber", nprocs=3, main=reeber_task(args.file_mode))
+    wf.add_link("nyx", "reeber")
+    result = wf.run(timeout=180.0)
+
+    counts = result.returns["reeber"][0]
+    print(f"\nmode: {'file' if args.file_mode else 'in situ'}; "
+          f"simulated time {result.vtime:.3f}s; "
+          f"halos per step: {counts}")
+    if args.file_mode:
+        print(f"files on the PFS: {STORE.listdir()}")
+    # Every Reeber rank agrees on the global halo list.
+    for other in result.returns["reeber"][1:]:
+        assert other == counts
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Fine-grained phase profiling of LowFive's transport.
+
+The paper's future work: "We are working on profiling our communication
+at finer grain in order to see where the remaining bottlenecks are."
+This example runs the synthetic benchmark twice -- with the paper's
+index-serve-query protocol and with the producer-push extension -- and
+prints the per-phase breakdown each rank's VOL recorded, making the
+protocol's synchronization costs visible.
+
+Run:  python examples/profiling_breakdown.py
+"""
+
+import numpy as np
+
+import repro.h5 as h5
+from repro.h5.native import NativeVOL
+from repro.lowfive import DistMetadataVOL
+from repro.pfs import PFSStore
+from repro.synth import (
+    SyntheticWorkload,
+    consumer_grid_selection,
+    grid_values,
+    producer_grid_selection,
+    validate_grid,
+)
+from repro.workflow import Workflow
+
+WL = SyntheticWorkload(grid_points_per_proc=200_000,
+                       particles_per_proc=200_000)
+NPROD, NCONS = 6, 2
+SHAPE = WL.grid_shape(NPROD)
+
+
+def run(push: bool, trace: bool = False):
+    stats = {"producer": [], "consumer": []}
+
+    def make_vol(ctx, role, peer):
+        def factory():
+            vol = DistMetadataVOL(comm=ctx.comm, under=NativeVOL(PFSStore()))
+            vol.set_memory("o.h5")
+            if push:
+                vol.enable_push("o.h5")
+            if role == "producer":
+                vol.serve_on_close("o.h5", ctx.intercomm(peer))
+            else:
+                vol.set_consumer("o.h5", ctx.intercomm(peer))
+            return vol
+
+        return ctx.singleton("vol", factory)
+
+    def producer(ctx):
+        vol = make_vol(ctx, "producer", "consumer")
+        f = h5.File("o.h5", "w", comm=ctx.comm, vol=vol)
+        d = f.create_dataset("grid", shape=SHAPE, dtype=h5.UINT64)
+        sel = producer_grid_selection(SHAPE, ctx.rank, ctx.size)
+        d.write(grid_values(sel, SHAPE), file_select=sel)
+        f.close()
+        return dict(vol.phase_stats(ctx.comm).seconds)
+
+    def consumer(ctx):
+        vol = make_vol(ctx, "consumer", "producer")
+        f = h5.File("o.h5", "r", comm=ctx.comm, vol=vol)
+        sel = consumer_grid_selection(SHAPE, ctx.rank, ctx.size)
+        vals = f["grid"].read(sel, reshape=False)
+        assert validate_grid(sel, SHAPE, vals)
+        f.close()
+        return dict(vol.phase_stats(ctx.comm).seconds)
+
+    wf = Workflow()
+    wf.add_task("producer", NPROD, producer)
+    wf.add_task("consumer", NCONS, consumer)
+    wf.add_link("producer", "consumer")
+    res = wf.run(trace=trace)
+    return res, res.returns["producer"], res.returns["consumer"]
+
+
+def show(label, res, prod_stats, cons_stats):
+    print(f"\n=== {label}: completion {res.vtime:.3f} simulated s ===")
+    for side, stats in (("producer", prod_stats), ("consumer", cons_stats)):
+        # Average each phase across the task's ranks.
+        phases = {}
+        for s in stats:
+            for k, v in s.items():
+                phases.setdefault(k, []).append(v)
+        print(f"  {side}:")
+        for k in sorted(phases):
+            vals = phases[k]
+            print(f"    {k:<14} mean {np.mean(vals) * 1e3:8.2f} ms   "
+                  f"max {np.max(vals) * 1e3:8.2f} ms")
+
+
+def main():
+    res_q, pq, cq = run(push=False, trace=True)
+    show("index-serve-query (paper protocol)", res_q, pq, cq)
+    res_p, pp, cp = run(push=True)
+    show("producer push (extension)", res_p, pp, cp)
+    print(f"\npush saves {(res_q.vtime - res_p.vtime) * 1e3:.2f} "
+          f"simulated ms "
+          f"({100 * (1 - res_p.vtime / res_q.vtime):.1f}%) on this shape")
+
+    # The traced run also yields a communication picture (repro.tools).
+    from repro.tools import (
+        communication_matrix,
+        render_matrix,
+        render_timeline,
+    )
+
+    nprocs = NPROD + NCONS
+    print()
+    print(render_timeline(res_q.trace, nprocs, width=64,
+                          title="Communication timeline (query protocol)"))
+    m = communication_matrix(res_q.trace, nprocs)
+    print(render_matrix(m, title="Bytes sent rank-to-rank "
+                                 f"(ranks 0-{NPROD - 1} produce, "
+                                 f"{NPROD}-{nprocs - 1} consume)"))
+
+
+if __name__ == "__main__":
+    main()

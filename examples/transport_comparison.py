@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Compare every transport on the paper's synthetic workload (a
+miniature of the evaluation section, executed for real).
+
+Runs LowFive memory mode, LowFive file mode, pure HDF5 files, pure MPI,
+DataSpaces-like staging, and Bredala-like redistribution on the same
+grid+particles workload, validates every one, and prints the simulated
+completion times next to the analytic model's prediction.
+
+Run:  python examples/transport_comparison.py [--procs 8] [--elems 100000]
+"""
+
+import argparse
+
+from repro.bench import (
+    format_table,
+    run_bredala,
+    run_dataspaces,
+    run_lowfive_file,
+    run_lowfive_memory,
+    run_pure_hdf5,
+    run_pure_mpi,
+)
+from repro.perfmodel import (
+    THETA_KNL,
+    bredala_times,
+    dataspaces_time,
+    lowfive_file_time,
+    lowfive_memory_time,
+    pure_hdf5_time,
+    pure_mpi_time,
+)
+from repro.synth import SyntheticWorkload
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--procs", type=int, default=8,
+                    help="total processes (3:1 producer:consumer split)")
+    ap.add_argument("--elems", type=int, default=100_000,
+                    help="grid points and particles per producer process")
+    args = ap.parse_args()
+
+    wl = SyntheticWorkload(grid_points_per_proc=args.elems,
+                           particles_per_proc=args.elems)
+    nprod, ncons = wl.split_procs(args.procs)
+    print(f"{nprod} producers -> {ncons} consumers, "
+          f"{args.elems} grid points + {args.elems} particles per "
+          f"producer ({wl.total_bytes(nprod) / 2**20:.1f} MiB total)\n")
+
+    runs = [
+        ("LowFive memory mode", run_lowfive_memory,
+         lambda: lowfive_memory_time(nprod, ncons, wl)),
+        ("Pure MPI (hand-written)", run_pure_mpi,
+         lambda: pure_mpi_time(nprod, ncons, wl)),
+        ("DataSpaces (2 staging ranks)", run_dataspaces,
+         lambda: dataspaces_time(nprod, ncons, wl, THETA_KNL, nservers=2)),
+        ("Bredala", run_bredala,
+         lambda: bredala_times(nprod, ncons, wl)["total"]),
+        ("LowFive file mode", run_lowfive_file,
+         lambda: lowfive_file_time(nprod, ncons, wl)),
+        ("Pure HDF5 file", run_pure_hdf5,
+         lambda: pure_hdf5_time(nprod, ncons, wl)),
+    ]
+    rows = []
+    for name, driver, model in runs:
+        res = driver(nprod, ncons, wl)
+        rows.append([name, res.vtime, model(), res.messages,
+                     "yes" if res.validated else "NO"])
+        print(f"  ran {name}: {res.vtime:.3f}s")
+
+    print()
+    print(format_table(
+        ["transport", "executed (s)", "modeled (s)", "messages",
+         "validated"],
+        rows,
+        title=f"Executed transport comparison at {args.procs} processes "
+              "(simulated Theta KNL)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

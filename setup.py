@@ -1,0 +1,5 @@
+"""Legacy setuptools shim (no `wheel` package available offline)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""LowFive reproduction package.
+
+This package reproduces "LowFive: In Situ Data Transport for
+High-Performance Workflows" (Peterka et al., IPDPS 2023) on a simulated
+HPC substrate:
+
+- :mod:`repro.simmpi` -- simulated MPI runtime (threads + virtual clocks),
+- :mod:`repro.h5` -- HDF5-like hierarchical data model with a Virtual
+  Object Layer (VOL),
+- :mod:`repro.pfs` -- simulated Lustre-like parallel file system,
+- :mod:`repro.diy` -- DIY-like regular block decomposition,
+- :mod:`repro.lowfive` -- the paper's contribution: a VOL plugin for in
+  situ data transport with n-to-m redistribution,
+- :mod:`repro.baselines` -- pure MPI, pure HDF5, DataSpaces-like, and
+  Bredala-like comparators,
+- :mod:`repro.workflow` -- Henson-like task-graph runner,
+- :mod:`repro.cosmo` -- Nyx/Reeber-like cosmology use case,
+- :mod:`repro.synth` -- synthetic grid/particle workloads (paper Sec. IV-B),
+- :mod:`repro.perfmodel` -- analytic large-scale performance model,
+- :mod:`repro.bench` -- experiment drivers shared by the benchmark suite.
+
+See ``DESIGN.md`` for the substitution rationale and experiment index.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

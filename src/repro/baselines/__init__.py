@@ -1,0 +1,40 @@
+"""Comparator transports from the paper's evaluation (Sec. IV).
+
+- :mod:`repro.baselines.pure_mpi` -- the hand-written MPI redistribution
+  the paper compares against in Fig. 7 (per-point serialization);
+- :mod:`repro.baselines.dataspaces` -- a DataSpaces-like staging service
+  (Fig. 8): dedicated server ranks index metadata, ``put_local`` leaves
+  data in producer memory, gets are one-sided;
+- :mod:`repro.baselines.bredala` -- a Bredala-like container data model
+  with *contiguous* and *bounding box* redistribution policies (Fig. 9,
+  Fig. 10);
+- pure HDF5 file I/O (Fig. 6) is simply :class:`repro.h5.native.NativeVOL`
+  without LowFive, driven by the benchmark harness.
+"""
+
+from repro.baselines.pure_mpi import pure_mpi_producer, pure_mpi_consumer
+from repro.baselines.dataspaces import (
+    DataSpaces,
+    dataspaces_server_main,
+)
+from repro.baselines.bredala import (
+    Container,
+    Field,
+    REDIST_CONTIGUOUS,
+    REDIST_BBOX,
+    redistribute_producer,
+    redistribute_consumer,
+)
+
+__all__ = [
+    "pure_mpi_producer",
+    "pure_mpi_consumer",
+    "DataSpaces",
+    "dataspaces_server_main",
+    "Container",
+    "Field",
+    "REDIST_CONTIGUOUS",
+    "REDIST_BBOX",
+    "redistribute_producer",
+    "redistribute_consumer",
+]

@@ -1,0 +1,356 @@
+"""Executed (simmpi) drivers for the paper's synthetic benchmark.
+
+Every driver couples one producer task with one consumer task (paper
+Sec. IV-B), generates the grid + particles workload with
+position-encoded values, transports it with one of the evaluated
+mechanisms, validates the redistribution, and returns the simulated
+completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.h5 as h5
+from repro.baselines import (
+    Container,
+    DataSpaces,
+    Field,
+    REDIST_BBOX,
+    REDIST_CONTIGUOUS,
+    dataspaces_server_main,
+    pure_mpi_consumer,
+    pure_mpi_producer,
+    redistribute_consumer,
+    redistribute_producer,
+)
+from repro.h5.native import NativeVOL
+from repro.lowfive import DistMetadataVOL
+from repro.pfs import PFSStore
+from repro.perfmodel.transports import Machine, THETA_KNL
+from repro.synth import (
+    SyntheticWorkload,
+    consumer_grid_selection,
+    consumer_particle_selection,
+    grid_values,
+    particle_values,
+    producer_grid_selection,
+    producer_particle_selection,
+    validate_grid,
+    validate_particles,
+)
+from repro.workflow import Workflow
+
+
+@dataclass
+class ExecutedResult:
+    """One executed benchmark point."""
+
+    nprod: int
+    ncons: int
+    vtime: float
+    validated: bool
+    messages: int
+    bytes_sent: int
+
+
+def _check(returns) -> bool:
+    return all(bool(r) for r in returns)
+
+
+def _run(wf: Workflow, machine: Machine, consumer_name: str = "consumer",
+         timeout: float = 120.0) -> tuple:
+    res = wf.run(model=machine.net, timeout=timeout)
+    return res, _check(res.returns[consumer_name])
+
+
+def _finish(nprod, ncons, res, ok) -> ExecutedResult:
+    if not ok:
+        raise AssertionError("consumer-side validation failed")
+    return ExecutedResult(nprod, ncons, res.vtime, ok,
+                          res.messages, res.bytes_sent)
+
+
+# -- LowFive ----------------------------------------------------------------
+
+
+def _lowfive_wf(nprod: int, ncons: int, wl: SyntheticWorkload,
+                machine: Machine, mode: str, store: PFSStore):
+    shape = wl.grid_shape(nprod)
+    npart = wl.total_particles(nprod)
+
+    def make_vol(ctx, role, peer):
+        def factory():
+            vol = DistMetadataVOL(
+                comm=ctx.comm, under=NativeVOL(store, machine.lustre),
+                costs=machine.lf,
+            )
+            if mode in ("memory", "both"):
+                vol.set_memory("out.h5")
+            if mode in ("file", "both"):
+                vol.set_passthru("out.h5")
+            if role == "producer":
+                vol.serve_on_close("out.h5", ctx.intercomm(peer))
+            else:
+                vol.set_consumer("out.h5", ctx.intercomm(peer))
+            return vol
+
+        return ctx.singleton("vol", factory)
+
+    def producer(ctx):
+        vol = make_vol(ctx, "producer", "consumer")
+        f = h5.File("out.h5", "w", comm=ctx.comm, vol=vol)
+        grid = f.create_dataset("group1/grid", shape=shape, dtype=h5.UINT64)
+        gsel = producer_grid_selection(shape, ctx.rank, ctx.size)
+        grid.write(grid_values(gsel, shape), file_select=gsel)
+        parts = f.create_dataset("group2/particles", shape=(npart, 3),
+                                 dtype=h5.FLOAT32)
+        psel = producer_particle_selection(npart, ctx.rank, ctx.size)
+        parts.write(particle_values(psel), file_select=psel)
+        f.close()
+        return True
+
+    def consumer(ctx):
+        vol = make_vol(ctx, "consumer", "producer")
+        f = h5.File("out.h5", "r", comm=ctx.comm, vol=vol)
+        gsel = consumer_grid_selection(shape, ctx.rank, ctx.size)
+        gv = f["group1/grid"].read(gsel, reshape=False)
+        psel = consumer_particle_selection(npart, ctx.rank, ctx.size)
+        pv = f["group2/particles"].read(psel, reshape=False)
+        f.close()
+        return (validate_grid(gsel, shape, gv)
+                and validate_particles(psel, pv))
+
+    wf = Workflow()
+    wf.add_task("producer", nprod, producer)
+    wf.add_task("consumer", ncons, consumer)
+    wf.add_link("producer", "consumer")
+    return wf
+
+
+def run_lowfive_memory(nprod: int, ncons: int,
+                       wl: SyntheticWorkload | None = None,
+                       machine: Machine = THETA_KNL) -> ExecutedResult:
+    """LowFive memory mode (in situ over MPI)."""
+    wl = wl or SyntheticWorkload()
+    wf = _lowfive_wf(nprod, ncons, wl, machine, "memory", PFSStore())
+    res, ok = _run(wf, machine)
+    return _finish(nprod, ncons, res, ok)
+
+
+def run_lowfive_file(nprod: int, ncons: int,
+                     wl: SyntheticWorkload | None = None,
+                     machine: Machine = THETA_KNL) -> ExecutedResult:
+    """LowFive file mode (transport via the parallel file system)."""
+    wl = wl or SyntheticWorkload()
+    wf = _lowfive_wf(nprod, ncons, wl, machine, "file", PFSStore())
+    res, ok = _run(wf, machine, timeout=240.0)
+    return _finish(nprod, ncons, res, ok)
+
+
+# -- pure HDF5 (no LowFive) ------------------------------------------------------
+
+
+def run_pure_hdf5(nprod: int, ncons: int,
+                  wl: SyntheticWorkload | None = None,
+                  machine: Machine = THETA_KNL) -> ExecutedResult:
+    """Producer writes an HDF5 file, consumer reads it, no VOL plugin.
+
+    The consumer polls the store for the finished file (the paper runs
+    them as separate jobs; in situ ordering is not available here).
+    """
+    wl = wl or SyntheticWorkload()
+    store = PFSStore()
+    shape = wl.grid_shape(nprod)
+    npart = wl.total_particles(nprod)
+
+    def producer(ctx):
+        vol = ctx.singleton("vol", lambda: NativeVOL(store, machine.lustre))
+        f = h5.File("out.h5", "w", comm=ctx.comm, vol=vol)
+        grid = f.create_dataset("group1/grid", shape=shape, dtype=h5.UINT64)
+        gsel = producer_grid_selection(shape, ctx.rank, ctx.size)
+        grid.write(grid_values(gsel, shape), file_select=gsel)
+        parts = f.create_dataset("group2/particles", shape=(npart, 3),
+                                 dtype=h5.FLOAT32)
+        psel = producer_particle_selection(npart, ctx.rank, ctx.size)
+        parts.write(particle_values(psel), file_select=psel)
+        f.close()
+        ctx.intercomm("consumer").send(b"done", dest=0) \
+            if ctx.rank == 0 else None
+        return True
+
+    def consumer(ctx):
+        if ctx.rank == 0:
+            ctx.intercomm("producer").recv()  # wait for the file
+        ctx.comm.barrier()
+        vol = ctx.singleton("vol", lambda: NativeVOL(store, machine.lustre))
+        f = h5.File("out.h5", "r", comm=ctx.comm, vol=vol)
+        gsel = consumer_grid_selection(shape, ctx.rank, ctx.size)
+        gv = f["group1/grid"].read(gsel, reshape=False)
+        psel = consumer_particle_selection(npart, ctx.rank, ctx.size)
+        pv = f["group2/particles"].read(psel, reshape=False)
+        f.close()
+        return (validate_grid(gsel, shape, gv)
+                and validate_particles(psel, pv))
+
+    wf = Workflow()
+    wf.add_task("producer", nprod, producer)
+    wf.add_task("consumer", ncons, consumer)
+    wf.add_link("producer", "consumer")
+    res, ok = _run(wf, machine, timeout=240.0)
+    return _finish(nprod, ncons, res, ok)
+
+
+# -- hand-written MPI ---------------------------------------------------------------
+
+
+def run_pure_mpi(nprod: int, ncons: int,
+                 wl: SyntheticWorkload | None = None,
+                 machine: Machine = THETA_KNL) -> ExecutedResult:
+    """The paper's hand-written MPI redistribution."""
+    wl = wl or SyntheticWorkload()
+    shape = wl.grid_shape(nprod)
+    npart = wl.total_particles(nprod)
+
+    def producer(ctx):
+        inter = ctx.intercomm("consumer")
+        gsel = producer_grid_selection(shape, ctx.rank, ctx.size)
+        pure_mpi_producer(inter, gsel, grid_values(gsel, shape), [
+            consumer_grid_selection(shape, r, ncons) for r in range(ncons)
+        ], tag=901, epoch_start=True)
+        psel = producer_particle_selection(npart, ctx.rank, ctx.size)
+        pure_mpi_producer(inter, psel, particle_values(psel), [
+            consumer_particle_selection(npart, r, ncons)
+            for r in range(ncons)
+        ], tag=902, epoch_start=False)
+        return True
+
+    def consumer(ctx):
+        inter = ctx.intercomm("producer")
+        gsel = consumer_grid_selection(shape, ctx.rank, ctx.size)
+        gv = pure_mpi_consumer(inter, gsel, np.uint64, tag=901,
+                                   epoch_end=False)
+        psel = consumer_particle_selection(npart, ctx.rank, ctx.size)
+        pv = pure_mpi_consumer(inter, psel, np.float32, tag=902,
+                                   epoch_end=True)
+        return (validate_grid(gsel, shape, gv)
+                and validate_particles(psel, pv))
+
+    wf = Workflow()
+    wf.add_task("producer", nprod, producer)
+    wf.add_task("consumer", ncons, consumer)
+    wf.add_link("producer", "consumer")
+    res, ok = _run(wf, machine)
+    return _finish(nprod, ncons, res, ok)
+
+
+# -- DataSpaces ------------------------------------------------------------------------
+
+
+def run_dataspaces(nprod: int, ncons: int,
+                   wl: SyntheticWorkload | None = None,
+                   machine: Machine = THETA_KNL,
+                   nservers: int = 2) -> ExecutedResult:
+    """DataSpaces-like staging (requires ``nservers`` extra ranks)."""
+    wl = wl or SyntheticWorkload()
+    shape = wl.grid_shape(nprod)
+    npart = wl.total_particles(nprod)
+    ds = DataSpaces(nservers, machine.ds)
+
+    def producer(ctx):
+        inter = ctx.intercomm("server")
+        gsel = producer_grid_selection(shape, ctx.rank, ctx.size)
+        ds.put_local(inter, ctx.comm, "grid", 0, gsel,
+                     grid_values(gsel, shape))
+        psel = producer_particle_selection(npart, ctx.rank, ctx.size)
+        ds.put_local(inter, ctx.comm, "particles", 0, psel,
+                     particle_values(psel))
+        ds.finalize(inter, ctx.comm)
+        return True
+
+    def consumer(ctx):
+        inter = ctx.intercomm("server")
+        gsel = consumer_grid_selection(shape, ctx.rank, ctx.size)
+        gv = ds.get(inter, ctx.comm, "grid", 0, gsel, np.uint64)
+        psel = consumer_particle_selection(npart, ctx.rank, ctx.size)
+        pv = ds.get(inter, ctx.comm, "particles", 0, psel, np.float32)
+        ds.finalize(inter, ctx.comm)
+        return (validate_grid(gsel, shape, gv)
+                and validate_particles(psel, pv))
+
+    def server(ctx):
+        dataspaces_server_main(
+            ds, [ctx.intercomm("producer"), ctx.intercomm("consumer")]
+        )
+        return True
+
+    wf = Workflow()
+    wf.add_task("producer", nprod, producer)
+    wf.add_task("consumer", ncons, consumer)
+    wf.add_task("server", nservers, server)
+    wf.add_link("producer", "server")
+    wf.add_link("consumer", "server")
+    res, ok = _run(wf, machine)
+    return _finish(nprod, ncons, res, ok)
+
+
+# -- Bredala --------------------------------------------------------------------------------
+
+
+def run_bredala(nprod: int, ncons: int,
+                wl: SyntheticWorkload | None = None,
+                machine: Machine = THETA_KNL) -> ExecutedResult:
+    """Bredala-like transport: grid via bbox, particles contiguous."""
+    wl = wl or SyntheticWorkload()
+    shape = wl.grid_shape(nprod)
+    npart = wl.total_particles(nprod)
+
+    def producer(ctx):
+        inter = ctx.intercomm("consumer")
+        gsel = producer_grid_selection(shape, ctx.rank, ctx.size)
+        coords = gsel.coords()
+        gvals = grid_values(gsel, shape)
+        psel = producer_particle_selection(npart, ctx.rank, ctx.size)
+        # Particle items are rows (id, id+.25, id+.5): reshape flat vals.
+        pvals = particle_values(psel).reshape(-1, 3)
+        c = Container()
+        c.append(Field("particles", REDIST_CONTIGUOUS, np.float32,
+                       item_shape=(3,), data=pvals, global_count=npart))
+        c.append(Field("grid", REDIST_BBOX, np.uint64, data=gvals,
+                       coords=coords, domain=shape))
+        redistribute_producer(inter, ctx.comm, c, machine.br)
+        return True
+
+    def consumer(ctx):
+        inter = ctx.intercomm("producer")
+        c = Container()
+        c.append(Field("particles", REDIST_CONTIGUOUS, np.float32,
+                       item_shape=(3,), global_count=npart))
+        c.append(Field("grid", REDIST_BBOX, np.uint64, domain=shape))
+        out = redistribute_consumer(inter, ctx.comm, c, machine.br)
+        start, parts = out["particles"]
+        ids = (np.arange(start, start + len(parts)) % (1 << 23)
+               ).astype(np.float32)
+        ok_parts = (
+            np.array_equal(parts[:, 0], ids)
+            and np.array_equal(parts[:, 1], ids + 0.25)
+            and np.array_equal(parts[:, 2], ids + 0.5)
+        )
+        blk, grid = out["grid"]
+        if grid.size:
+            sel = blk.to_selection(shape)
+            ok_grid = np.array_equal(
+                grid.reshape(-1), grid_values(sel, shape)
+            )
+        else:
+            ok_grid = True
+        return ok_parts and ok_grid
+
+    wf = Workflow()
+    wf.add_task("producer", nprod, producer)
+    wf.add_task("consumer", ncons, consumer)
+    wf.add_link("producer", "consumer")
+    res, ok = _run(wf, machine, timeout=240.0)
+    return _finish(nprod, ncons, res, ok)

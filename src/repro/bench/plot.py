@@ -1,0 +1,79 @@
+"""Dependency-free ASCII plots for the regenerated figures.
+
+The paper's figures are log-log weak-scaling plots; this renders the
+regenerated series in the same shape so eyeballing the reproduction
+needs no plotting stack. Output style::
+
+    1e+03 |                          AA
+    1e+02 |                    A A
+    1e+01 |              A
+    1e+00 | B  B   B  B  B  B  B
+          +---------------------------
+            4  16  64 256  1K  4K 16K
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _fmt_procs(p: int) -> str:
+    if p >= 1024:
+        return f"{p // 1024}K"
+    return str(p)
+
+
+def ascii_loglog(procs: list[int], series: dict[str, list],
+                 height: int = 12, title: str = "") -> str:
+    """Render series (name -> values, None = missing) on log-log axes.
+
+    Each series is drawn with its own letter (A, B, C ... in insertion
+    order); a legend maps letters to names.
+    """
+    vals = [
+        v for vs in series.values() for v in vs
+        if v is not None and v > 0
+    ]
+    if not vals:
+        raise ValueError("nothing to plot")
+    lo = math.floor(math.log10(min(vals)))
+    hi = math.ceil(math.log10(max(vals)))
+    if hi == lo:
+        hi = lo + 1
+    col_w = 5
+    ncols = len(procs)
+    width = ncols * col_w
+
+    def row_of(v: float) -> int:
+        frac = (math.log10(v) - lo) / (hi - lo)
+        return min(height - 1, max(0, int(round(frac * (height - 1)))))
+
+    grid = [[" "] * width for _ in range(height)]
+    letters = {}
+    for idx, (name, vs) in enumerate(series.items()):
+        letter = chr(ord("A") + idx)
+        letters[letter] = name
+        for c, v in enumerate(vs):
+            if v is None or v <= 0:
+                continue
+            r = row_of(v)
+            x = c * col_w + col_w // 2
+            cell = grid[r][x]
+            grid[r][x] = "*" if cell not in (" ", letter) else letter
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height - 1, -1, -1):
+        frac = r / (height - 1)
+        decade = lo + frac * (hi - lo)
+        label = f"1e{decade:+03.0f}" if abs(decade - round(decade)) < 0.02 \
+            else "     "
+        lines.append(f"{label:>6} |" + "".join(grid[r]))
+    lines.append("       +" + "-" * width)
+    axis = "".join(_fmt_procs(p).center(col_w) for p in procs)
+    lines.append("        " + axis + "  (#procs)")
+    for letter, name in letters.items():
+        lines.append(f"        {letter} = {name}")
+    lines.append("        * = overlapping points")
+    return "\n".join(lines) + "\n"

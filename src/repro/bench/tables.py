@@ -1,0 +1,63 @@
+"""ASCII table / series formatting and results output for benchmarks."""
+
+from __future__ import annotations
+
+import os
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Plain fixed-width table (the style of the paper's tables)."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        out.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out) + "\n"
+
+
+def format_series_table(procs: list[int], series: dict[str, list],
+                        title: str = "", unit: str = "s") -> str:
+    """One row per process count, one column per series (figure data)."""
+    headers = ["#procs"] + [f"{name} ({unit})" for name in series]
+    rows = []
+    for i, p in enumerate(procs):
+        rows.append([p] + [series[name][i] for name in series])
+    return format_table(headers, rows, title)
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "x"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 100:
+            return f"{v:.0f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def results_dir() -> str:
+    """Directory collecting regenerated tables/figure data."""
+    d = os.environ.get("REPRO_RESULTS_DIR", "results")
+    os.makedirs(d, exist_ok=True)
+    return d
+
+
+def write_result(name: str, text: str, echo: bool = True) -> str:
+    """Store a regenerated table under ``results/`` and echo it."""
+    path = os.path.join(results_dir(), name)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+    if echo:
+        print("\n" + text)
+    return path

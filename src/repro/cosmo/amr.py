@@ -1,0 +1,132 @@
+"""AMReX-like block-structured mesh substrate.
+
+Nyx delegates its mesh storage and I/O to AMReX, which manages the
+domain as a *box array* (a set of rectangular boxes chopped at
+``max_grid_size``), a *distribution mapping* (box -> MPI rank), and
+*multifabs* (per-box field data with some number of components). This
+module implements those pieces for a single refinement level, which is
+all the paper's I/O experiment exercises (the analysis consumes one
+resolution of one variable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diy import Bounds
+
+#: An AMReX box is an integer bounding box.
+Box = Bounds
+
+
+class BoxArray:
+    """The domain chopped into boxes of at most ``max_grid_size`` per side."""
+
+    def __init__(self, domain_shape, max_grid_size: int = 32):
+        self.domain = tuple(int(s) for s in domain_shape)
+        if any(s <= 0 for s in self.domain):
+            raise ValueError(f"bad domain {self.domain}")
+        if max_grid_size < 1:
+            raise ValueError("max_grid_size must be >= 1")
+        self.max_grid_size = max_grid_size
+        per_dim = []
+        for extent in self.domain:
+            cuts = [
+                (i * max_grid_size, min((i + 1) * max_grid_size, extent))
+                for i in range((extent + max_grid_size - 1) // max_grid_size)
+            ]
+            per_dim.append(cuts)
+        self.boxes: list[Box] = []
+        grid = [len(c) for c in per_dim]
+        for flat in range(int(np.prod(grid))):
+            coords = np.unravel_index(flat, grid)
+            lo = [per_dim[d][c][0] for d, c in enumerate(coords)]
+            hi = [per_dim[d][c][1] for d, c in enumerate(coords)]
+            self.boxes.append(Box(lo, hi))
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    def __getitem__(self, i: int) -> Box:
+        return self.boxes[i]
+
+    def __iter__(self):
+        return iter(self.boxes)
+
+    @property
+    def total_cells(self) -> int:
+        """Total cell count of the domain."""
+        return int(np.prod(self.domain))
+
+
+class DistributionMapping:
+    """Round-robin assignment of boxes to ranks (AMReX's default-ish)."""
+
+    def __init__(self, boxarray: BoxArray, nranks: int):
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        self.boxarray = boxarray
+        self.nranks = nranks
+        self._owner = [i % nranks for i in range(len(boxarray))]
+
+    def owner(self, box_id: int) -> int:
+        """Owning rank of box ``box_id``."""
+        return self._owner[box_id]
+
+    def local_boxes(self, rank: int) -> list[int]:
+        """Box ids owned by ``rank``."""
+        return [i for i, o in enumerate(self._owner) if o == rank]
+
+
+class MultiFab:
+    """Field data over a box array: this rank's boxes, ``ncomp`` components.
+
+    Data for box ``i`` is an array of shape ``box.shape + (ncomp,)``
+    (squeezed to ``box.shape`` when ``ncomp == 1``).
+    """
+
+    def __init__(self, boxarray: BoxArray, dm: DistributionMapping,
+                 rank: int, ncomp: int = 1, dtype=np.float64):
+        self.boxarray = boxarray
+        self.dm = dm
+        self.rank = rank
+        self.ncomp = ncomp
+        self.dtype = np.dtype(dtype)
+        self.fabs: dict[int, np.ndarray] = {}
+        for bid in dm.local_boxes(rank):
+            shape = boxarray[bid].shape
+            if ncomp > 1:
+                shape = shape + (ncomp,)
+            self.fabs[bid] = np.zeros(shape, dtype=self.dtype)
+
+    @property
+    def local_box_ids(self) -> list[int]:
+        """Sorted ids of the boxes this rank owns."""
+        return sorted(self.fabs)
+
+    def fab(self, box_id: int) -> np.ndarray:
+        """This rank's data array for box ``box_id``."""
+        return self.fabs[box_id]
+
+    def set_val(self, value) -> None:
+        """Fill every local fab with ``value``."""
+        for arr in self.fabs.values():
+            arr[...] = value
+
+    def local_cells(self) -> int:
+        """Cells stored locally on this rank."""
+        return sum(self.boxarray[b].size for b in self.fabs)
+
+    def local_min(self) -> float:
+        """Minimum over this rank's fabs."""
+        vals = [a.min() for a in self.fabs.values() if a.size]
+        return float(min(vals)) if vals else float("inf")
+
+    def local_max(self) -> float:
+        """Maximum over this rank's fabs."""
+        vals = [a.max() for a in self.fabs.values() if a.size]
+        return float(max(vals)) if vals else float("-inf")
+
+    def local_sum(self) -> float:
+        """Sum over this rank's fabs."""
+        return float(sum(a.sum() for a in self.fabs.values()))

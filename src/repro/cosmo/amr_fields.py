@@ -1,0 +1,135 @@
+"""Multi-variable, multi-level AMR snapshots.
+
+The paper's introduction motivates metadata-aware transport with "an
+adaptive mesh refined (AMR) simulation that computes many datasets,
+spanning a dozen variables at different resolutions, coupled to an
+analysis task that consumes only a single variable at one resolution.
+... only the required dataset would need to be sent ... The other
+datasets not needed by the consumer would never actually have to be
+written, i.e., sent."
+
+This module produces such snapshots from the Nyx proxy: several derived
+variables on level 0 plus a refined level-1 patch, all written through
+the ordinary h5 API as separate datasets. LowFive's per-dataset
+transport then moves only what the consumer reads --
+``tests/cosmo/test_amr_fields.py`` measures exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.h5 as h5
+from repro.cosmo.amr import BoxArray, DistributionMapping, MultiFab
+from repro.cosmo.nyx import NyxProxy
+from repro.diy import Bounds
+from repro.h5.plist import TransferProps
+
+#: Refinement ratio of the level-1 patch.
+REFINE_RATIO = 2
+
+
+def derive_fields(density: MultiFab) -> dict[str, MultiFab]:
+    """Derive the classic companion variables from the density field.
+
+    All transforms are pointwise on the local fabs, so the result is
+    decomposition-independent like the density itself.
+    """
+    out = {"baryon_density": density}
+    specs = {
+        "temperature": lambda d: 1.0e4 * np.sqrt(1.0 + d),
+        "pressure": lambda d: (1.0 + d) ** 1.4,
+        "velocity_x": lambda d: np.tanh(d - 1.0),
+        "velocity_y": lambda d: -np.tanh(d - 1.0) / 2.0,
+        "velocity_z": lambda d: d * 0.0,
+    }
+    for name, fn in specs.items():
+        mf = MultiFab(density.boxarray, density.dm, density.rank)
+        for bid in density.local_box_ids:
+            mf.fab(bid)[...] = fn(density.fab(bid))
+        out[name] = mf
+    return out
+
+
+def refined_region(domain) -> Bounds:
+    """The level-1 patch: the central half-extent box of the domain."""
+    lo = [s // 4 for s in domain]
+    hi = [s - s // 4 for s in domain]
+    return Bounds(lo, hi)
+
+
+def make_level1_density(comm, domain, max_grid_size: int = 16) -> MultiFab:
+    """A refined (2x) density patch over :func:`refined_region`.
+
+    Values are a deterministic function of the *global* fine
+    coordinates, so any decomposition produces the same dataset (the
+    analysis can validate transport without reference data).
+    """
+    region = refined_region(domain)
+    fine_shape = tuple(int(v) * REFINE_RATIO for v in region.shape)
+    ba = BoxArray(fine_shape, max_grid_size)
+    nranks = 1 if comm is None else comm.size
+    rank = 0 if comm is None else comm.rank
+    dm = DistributionMapping(ba, nranks)
+    mf = MultiFab(ba, dm, rank)
+    for bid in mf.local_box_ids:
+        box = ba[bid]
+        grids = np.meshgrid(
+            *[np.arange(l, h) for l, h in zip(box.min, box.max)],
+            indexing="ij",
+        )
+        val = np.zeros(box.shape)
+        for d, g in enumerate(grids):
+            val += np.sin((d + 1) * 0.37 * g)
+        mf.fab(bid)[...] = 1.0 + val * val
+    return mf
+
+
+def level1_values(selection) -> np.ndarray:
+    """Expected level-1 values for any selection (validation helper)."""
+    coords = selection.coords()
+    if coords.shape[0] == 0:
+        return np.empty(0)
+    val = np.zeros(coords.shape[0])
+    for d in range(coords.shape[1]):
+        val += np.sin((d + 1) * 0.37 * coords[:, d])
+    return 1.0 + val * val
+
+
+def write_amr_snapshot(fname: str, sim: NyxProxy, comm, vol,
+                       step: int) -> dict[str, tuple]:
+    """Write a full multi-variable, two-level snapshot.
+
+    Level-0 variables land under ``native_fields/<var>``; the refined
+    density under ``level_1/baryon_density``. Returns
+    ``{dataset path: shape}`` for the caller's bookkeeping.
+    """
+    density = sim.advance()
+    fields = derive_fields(density)
+    level1 = make_level1_density(comm, sim.domain)
+    written = {}
+    dxpl = TransferProps(collective=False)  # per-box independent writes
+    f = h5.File(fname, "w", comm=comm, vol=vol)
+    for var, mf in fields.items():
+        path = f"native_fields/{var}"
+        dset = f.create_dataset(path, shape=mf.boxarray.domain,
+                                dtype=h5.FLOAT64)
+        for bid in mf.local_box_ids:
+            box = mf.boxarray[bid]
+            dset.write(mf.fab(bid),
+                       file_select=h5.hyperslab(tuple(box.min), box.shape),
+                       dxpl=dxpl)
+        written[path] = mf.boxarray.domain
+    path = "level_1/baryon_density"
+    dset = f.create_dataset(path, shape=level1.boxarray.domain,
+                            dtype=h5.FLOAT64)
+    for bid in level1.local_box_ids:
+        box = level1.boxarray[bid]
+        dset.write(level1.fab(bid),
+                   file_select=h5.hyperslab(tuple(box.min), box.shape),
+                   dxpl=dxpl)
+    written[path] = level1.boxarray.domain
+    f.attrs["step"] = step
+    f.attrs["refine_ratio"] = REFINE_RATIO
+    f.close()
+    return written

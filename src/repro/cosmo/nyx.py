@@ -1,0 +1,145 @@
+"""Nyx-like particle-mesh cosmology proxy.
+
+A deliberately small but structurally faithful stand-in for Nyx: dark
+matter particles evolve under a toy gravity kick and are deposited onto
+a baryon-density mesh (nearest-grid-point), which is what Reeber
+consumes to find halos. The I/O path matches Nyx's HDF5 option: "all the
+simulation data are written into a single file", with the field at
+``/native_fields/baryon_density``.
+
+The writer reproduces the behaviour the paper calls out: "the AMReX
+writer uses a separate procedure to *repack* the data into a layout more
+amenable to disk I/O. Unfortunately, this undermines LowFive's zero-copy
+ability ... As a result, we disable zero-copy in LowFive, and up to
+three copies of the same data ... can exist in memory simultaneously."
+``write_snapshot_h5`` therefore repacks each fab into a fresh buffer
+before handing it to the h5 layer (and charges the copy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.h5 as h5
+from repro.cosmo.amr import BoxArray, DistributionMapping, MultiFab
+
+#: Dataset path used by Nyx's HDF5 writer.
+DENSITY_PATH = "native_fields/baryon_density"
+
+
+class NyxProxy:
+    """A particle-mesh proxy simulation on one refinement level.
+
+    Parameters
+    ----------
+    grid_size:
+        Cells per side of the cubic domain (e.g. 256 for the paper's
+        smallest run).
+    comm:
+        This task's communicator; each rank owns the boxes its
+        distribution mapping assigns.
+    particles_per_cell:
+        Sampling density of the toy dark-matter phase.
+    max_grid_size:
+        AMReX box chop size.
+    seed:
+        Deterministic initial conditions.
+    """
+
+    def __init__(self, grid_size: int, comm, particles_per_cell: float = 0.25,
+                 max_grid_size: int = 32, seed: int = 42):
+        self.n = int(grid_size)
+        self.comm = comm
+        self.domain = (self.n, self.n, self.n)
+        self.ba = BoxArray(self.domain, max_grid_size)
+        nranks = 1 if comm is None else comm.size
+        rank = 0 if comm is None else comm.rank
+        self.dm = DistributionMapping(self.ba, nranks)
+        self.rank = rank
+        self.step = 0
+        # Each rank owns the particles born in its boxes; they never
+        # migrate in this proxy (the kick is sub-cell), which keeps the
+        # deposit local -- fine for an I/O-focused experiment. Particles
+        # are seeded *per box*, so the field is identical regardless of
+        # how boxes are distributed over ranks (validated against a
+        # serial run in the tests).
+        self.particles_per_cell = particles_per_cell
+        self._positions = {}
+        for bid in self.dm.local_boxes(rank):
+            rng = np.random.default_rng(seed * 1_000_003 + bid)
+            box = self.ba[bid]
+            k = max(1, int(box.size * particles_per_cell))
+            lo = np.asarray(box.min, dtype=np.float64)
+            ext = np.asarray(box.shape, dtype=np.float64)
+            # Clustered ICs: a few gaussian blobs per box so halos exist.
+            centers = lo + ext * rng.random((max(1, k // 64), 3))
+            idx = rng.integers(0, len(centers), size=k)
+            pos = centers[idx] + rng.normal(0.0, ext / 12.0, size=(k, 3))
+            self._positions[bid] = np.clip(
+                pos, lo, lo + ext - 1e-6
+            )
+
+    @property
+    def n_local_particles(self) -> int:
+        """Particles owned by this rank."""
+        return sum(len(p) for p in self._positions.values())
+
+    def advance(self) -> MultiFab:
+        """Run one coarse time step; return the baryon-density multifab."""
+        self.step += 1
+        density = MultiFab(self.ba, self.dm, self.rank, ncomp=1)
+        for bid, pos in self._positions.items():
+            box = self.ba[bid]
+            lo = np.asarray(box.min, dtype=np.float64)
+            ext = np.asarray(box.shape, dtype=np.float64)
+            # Toy gravity kick: particles drift toward their blob center
+            # (small, deterministic, keeps them inside the box).
+            center = pos.mean(axis=0, keepdims=True)
+            pos += 0.05 * (center - pos)
+            np.clip(pos, lo, lo + ext - 1e-6, out=pos)
+            # NGP deposit.
+            cells = (pos - lo).astype(np.int64)
+            fab = density.fab(bid)
+            np.add.at(fab, tuple(cells.T), 1.0)
+        # Cosmological mean normalization: density contrast 1+delta,
+        # against the global mean (a constant, so the field does not
+        # depend on the process decomposition).
+        for bid in density.local_box_ids:
+            density.fab(bid)[...] /= max(1e-12, self.particles_per_cell)
+        return density
+
+
+def write_snapshot_h5(fname: str, density: MultiFab, comm, vol,
+                      step: int, repack: bool = True) -> None:
+    """Write one snapshot through the h5 API, Nyx-style.
+
+    Every rank writes its boxes as hyperslabs of the single global
+    dataset. With ``repack=True`` (Nyx's actual behaviour) each fab is
+    first copied into a fresh packing buffer, which is why zero-copy
+    must stay off for this workload.
+    """
+    from repro.h5.plist import TransferProps
+
+    domain = density.boxarray.domain
+    f = h5.File(fname, "w", comm=comm, vol=vol)
+    dset = f.create_dataset(DENSITY_PATH, shape=domain, dtype=h5.FLOAT64)
+    # Ranks own different numbers of boxes, so the per-box writes are
+    # independent (non-collective) -- as in AMReX's HDF5 writer.
+    dxpl = TransferProps(collective=False)
+    for bid in density.local_box_ids:
+        box = density.boxarray[bid]
+        fab = density.fab(bid)
+        if repack:
+            packed = np.ascontiguousarray(fab).copy()
+            if comm is not None:
+                comm.charge_memcpy(int(packed.nbytes))
+        else:
+            packed = fab
+        dset.write(
+            packed,
+            file_select=h5.hyperslab(tuple(box.min), box.shape),
+            dxpl=dxpl,
+        )
+    f.attrs["step"] = step
+    f.attrs["domain"] = np.asarray(domain, dtype=np.int64)
+    f.close()

@@ -1,0 +1,57 @@
+"""Block-to-rank assignment policies (DIY-style)."""
+
+from __future__ import annotations
+
+
+class ContiguousAssigner:
+    """Blocks are dealt out in contiguous runs: with ``nblocks`` over
+    ``nranks``, the first ``nblocks % nranks`` ranks get one extra."""
+
+    def __init__(self, nranks: int, nblocks: int):
+        if nranks < 1 or nblocks < 0:
+            raise ValueError("need nranks >= 1 and nblocks >= 0")
+        self.nranks = nranks
+        self.nblocks = nblocks
+        base, rem = divmod(nblocks, nranks)
+        self._counts = [base + (1 if r < rem else 0) for r in range(nranks)]
+        self._starts = [0] * nranks
+        for r in range(1, nranks):
+            self._starts[r] = self._starts[r - 1] + self._counts[r - 1]
+
+    def rank(self, gid: int) -> int:
+        """Owning rank of block ``gid``."""
+        if not 0 <= gid < self.nblocks:
+            raise IndexError(f"gid {gid} out of range")
+        for r in range(self.nranks):
+            if gid < self._starts[r] + self._counts[r]:
+                return r
+        raise AssertionError("unreachable")
+
+    def gids(self, rank: int) -> list[int]:
+        """Blocks owned by ``rank``."""
+        if not 0 <= rank < self.nranks:
+            raise IndexError(f"rank {rank} out of range")
+        s = self._starts[rank]
+        return list(range(s, s + self._counts[rank]))
+
+
+class RoundRobinAssigner:
+    """Block ``gid`` is owned by rank ``gid % nranks``."""
+
+    def __init__(self, nranks: int, nblocks: int):
+        if nranks < 1 or nblocks < 0:
+            raise ValueError("need nranks >= 1 and nblocks >= 0")
+        self.nranks = nranks
+        self.nblocks = nblocks
+
+    def rank(self, gid: int) -> int:
+        """Owning rank of block ``gid``."""
+        if not 0 <= gid < self.nblocks:
+            raise IndexError(f"gid {gid} out of range")
+        return gid % self.nranks
+
+    def gids(self, rank: int) -> list[int]:
+        """Blocks owned by ``rank``."""
+        if not 0 <= rank < self.nranks:
+            raise IndexError(f"rank {rank} out of range")
+        return list(range(rank, self.nblocks, self.nranks))

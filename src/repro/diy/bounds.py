@@ -1,0 +1,123 @@
+"""Integer bounding boxes (half-open: ``min`` inclusive, ``max`` exclusive)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Bounds:
+    """An axis-aligned integer box ``[min, max)`` in N dimensions.
+
+    Empty boxes (any ``max <= min``) are normalized to zero extent so
+    ``size == 0`` and intersections behave.
+    """
+
+    __slots__ = ("min", "max")
+
+    def __init__(self, mins, maxs):
+        self.min = np.asarray(mins, dtype=np.int64).copy()
+        self.max = np.asarray(maxs, dtype=np.int64).copy()
+        if self.min.shape != self.max.shape or self.min.ndim != 1:
+            raise ValueError("min/max must be 1-d and the same length")
+        collapsed = self.max < self.min
+        self.max[collapsed] = self.min[collapsed]
+
+    @classmethod
+    def from_shape(cls, shape) -> "Bounds":
+        """The full box of a dataspace shape."""
+        shape = tuple(int(s) for s in shape)
+        return cls([0] * len(shape), list(shape))
+
+    @classmethod
+    def from_selection(cls, sel) -> "Bounds":
+        """Bounding box of any :class:`~repro.h5.selection.Selection`."""
+        lo, hi = sel.bounds()
+        return cls(lo, hi)
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.min)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Per-dimension extent of the box."""
+        return tuple(int(v) for v in (self.max - self.min))
+
+    @property
+    def size(self) -> int:
+        """Number of integer points inside the box."""
+        ext = self.max - self.min
+        return int(np.prod(np.maximum(ext, 0))) if self.ndim else 1
+
+    @property
+    def empty(self) -> bool:
+        """True when the box contains no points."""
+        return self.size == 0
+
+    def intersect(self, other: "Bounds") -> "Bounds":
+        """The overlapping box (possibly empty)."""
+        self._check(other)
+        return Bounds(
+            np.maximum(self.min, other.min), np.minimum(self.max, other.max)
+        )
+
+    def intersects(self, other: "Bounds") -> bool:
+        """True when the boxes overlap."""
+        self._check(other)
+        return bool(
+            ((np.minimum(self.max, other.max)
+              - np.maximum(self.min, other.min)) > 0).all()
+        )
+
+    def contains_point(self, pt) -> bool:
+        """True when ``pt`` lies inside the box."""
+        pt = np.asarray(pt, dtype=np.int64)
+        return bool(((pt >= self.min) & (pt < self.max)).all())
+
+    def contains(self, other: "Bounds") -> bool:
+        """True when ``other`` lies entirely inside this box."""
+        self._check(other)
+        if other.empty:
+            return True
+        return bool((other.min >= self.min).all()
+                    and (other.max <= self.max).all())
+
+    def union_bound(self, other: "Bounds") -> "Bounds":
+        """Smallest box covering both."""
+        self._check(other)
+        if self.empty:
+            return Bounds(other.min, other.max)
+        if other.empty:
+            return Bounds(self.min, self.max)
+        return Bounds(
+            np.minimum(self.min, other.min), np.maximum(self.max, other.max)
+        )
+
+    def to_selection(self, shape):
+        """As a contiguous hyperslab over a dataspace of ``shape``."""
+        from repro.h5.selection import HyperslabSelection, NoneSelection
+
+        if self.empty:
+            return NoneSelection(tuple(shape))
+        return HyperslabSelection(
+            tuple(shape), tuple(self.min), tuple(self.max - self.min)
+        )
+
+    def _check(self, other: "Bounds") -> None:
+        if self.ndim != other.ndim:
+            raise ValueError(
+                f"dimension mismatch: {self.ndim} vs {other.ndim}"
+            )
+
+    def __eq__(self, other):
+        if isinstance(other, Bounds):
+            return (self.min == other.min).all() and \
+                (self.max == other.max).all()
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((tuple(self.min), tuple(self.max)))
+
+    def __repr__(self):
+        return f"Bounds(min={list(self.min)}, max={list(self.max)})"

@@ -1,0 +1,25 @@
+"""Exception types for the h5 data model."""
+
+
+class H5Error(Exception):
+    """Base class for all h5 data-model errors."""
+
+
+class NotFoundError(H5Error, KeyError):
+    """A link (group/dataset/attribute path) does not exist."""
+
+
+class ExistsError(H5Error):
+    """Attempt to create an object over an existing link."""
+
+
+class SelectionError(H5Error, ValueError):
+    """A selection is malformed or falls outside the dataspace extent."""
+
+
+class ClosedError(H5Error):
+    """Operation on a closed file or object handle."""
+
+
+class ModeError(H5Error):
+    """Operation not permitted by the file's open mode."""

@@ -1,0 +1,348 @@
+"""Binary on-disk file format for the native VOL.
+
+Layout::
+
+    +--------------------------------------------------------------+
+    | magic "REPROH5\\0" | version u32 | meta_off u64 | meta_len u64 |
+    +--------------------------------------------------------------+
+    | data section: piece and attribute payloads, back to back      |
+    +--------------------------------------------------------------+
+    | metadata section: encoded object tree (TLV, see below)        |
+    +--------------------------------------------------------------+
+
+The metadata section is a little tag-length-value encoding of the
+:mod:`repro.h5.objects` tree. Dataset data is *not* embedded in the
+metadata; each written piece records the offset/length of its payload in
+the data section, so readers can fetch data lazily with positional
+reads.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.h5.datatype import Datatype
+from repro.h5.dataspace import Dataspace
+from repro.h5.errors import H5Error
+from repro.h5.objects import (
+    DataPiece,
+    DatasetNode,
+    FileNode,
+    GroupNode,
+    Node,
+)
+from repro.h5.selection import (
+    AllSelection,
+    HyperslabSelection,
+    IndexSetSelection,
+    NoneSelection,
+    PointSelection,
+    Selection,
+)
+
+MAGIC = b"REPROH5\x00"
+VERSION = 1
+HEADER = struct.Struct("<8sIQQ")
+
+_KIND_GROUP = 1
+_KIND_DATASET = 2
+
+_SEL_ALL = 1
+_SEL_HYPERSLAB = 2
+_SEL_INDEXSET = 3
+_SEL_POINTS = 4
+_SEL_NONE = 5
+
+
+class Writer:
+    """Append-only binary writer with small typed helpers."""
+
+    def __init__(self):
+        self._chunks: list[bytes] = []
+        self._len = 0
+
+    def u8(self, v):
+        """Append an unsigned byte."""
+        self.raw(struct.pack("<B", v))
+
+    def u32(self, v):
+        """Append an unsigned 32-bit integer."""
+        self.raw(struct.pack("<I", v))
+
+    def u64(self, v):
+        """Append an unsigned 64-bit integer."""
+        self.raw(struct.pack("<Q", v))
+
+    def i64(self, v):
+        """Append a signed 64-bit integer."""
+        self.raw(struct.pack("<q", v))
+
+    def blob(self, b: bytes):
+        """Append a length-prefixed byte string."""
+        self.u64(len(b))
+        self.raw(b)
+
+    def text(self, s: str):
+        """Append a length-prefixed UTF-8 string."""
+        self.blob(s.encode("utf-8"))
+
+    def raw(self, b: bytes):
+        """Append raw bytes verbatim."""
+        self._chunks.append(b)
+        self._len += len(b)
+
+    @property
+    def nbytes(self) -> int:
+        """Number of bytes written so far."""
+        return self._len
+
+    def getvalue(self) -> bytes:
+        """The bytes written so far."""
+        return b"".join(self._chunks)
+
+
+class Reader:
+    """Positional binary reader over a bytes buffer."""
+
+    def __init__(self, buf: bytes):
+        self.buf = buf
+        self.pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self.pos + n > len(self.buf):
+            raise H5Error("truncated metadata block")
+        out = self.buf[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def u8(self):
+        """Read an unsigned byte."""
+        return struct.unpack("<B", self._take(1))[0]
+
+    def u32(self):
+        """Read an unsigned 32-bit integer."""
+        return struct.unpack("<I", self._take(4))[0]
+
+    def u64(self):
+        """Read an unsigned 64-bit integer."""
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def i64(self):
+        """Read a signed 64-bit integer."""
+        return struct.unpack("<q", self._take(8))[0]
+
+    def blob(self) -> bytes:
+        """Read a length-prefixed byte string."""
+        return self._take(self.u64())
+
+    def text(self) -> str:
+        """Read a length-prefixed UTF-8 string."""
+        return self.blob().decode("utf-8")
+
+
+# -- selection codec ---------------------------------------------------------
+
+
+def _enc_idx(w: Writer, arr: np.ndarray):
+    a = np.ascontiguousarray(arr, dtype=np.int64)
+    w.u64(a.size)
+    w.raw(a.tobytes())
+
+
+def _dec_idx(r: Reader) -> np.ndarray:
+    n = r.u64()
+    return np.frombuffer(r._take(8 * n), dtype=np.int64).copy()
+
+
+def encode_selection(w: Writer, sel: Selection) -> None:
+    """Append a selection's encoding to ``w``."""
+    w.u8(len(sel.shape))
+    for s in sel.shape:
+        w.u64(s)
+    if isinstance(sel, AllSelection):
+        w.u8(_SEL_ALL)
+    elif isinstance(sel, HyperslabSelection):
+        w.u8(_SEL_HYPERSLAB)
+        for field in (sel.start, sel.count, sel.stride, sel.block):
+            for v in field:
+                w.u64(v)
+    elif isinstance(sel, IndexSetSelection):
+        w.u8(_SEL_INDEXSET)
+        for idx in sel.per_dim_indices():
+            _enc_idx(w, idx)
+    elif isinstance(sel, PointSelection):
+        w.u8(_SEL_POINTS)
+        _enc_idx(w, sel.coords().reshape(-1))
+    elif isinstance(sel, NoneSelection):
+        w.u8(_SEL_NONE)
+    else:
+        raise H5Error(f"cannot encode selection {type(sel).__name__}")
+
+
+def decode_selection(r: Reader) -> Selection:
+    """Inverse of :func:`encode_selection`."""
+    ndim = r.u8()
+    shape = tuple(r.u64() for _ in range(ndim))
+    tag = r.u8()
+    if tag == _SEL_ALL:
+        return AllSelection(shape)
+    if tag == _SEL_HYPERSLAB:
+        fields = []
+        for _ in range(4):
+            fields.append(tuple(r.u64() for _ in range(ndim)))
+        start, count, stride, block = fields
+        return HyperslabSelection(shape, start, count, stride, block)
+    if tag == _SEL_INDEXSET:
+        return IndexSetSelection(shape, [_dec_idx(r) for _ in range(ndim)])
+    if tag == _SEL_POINTS:
+        flat = _dec_idx(r)
+        return PointSelection(shape, flat.reshape(-1, ndim))
+    if tag == _SEL_NONE:
+        return NoneSelection(shape)
+    raise H5Error(f"unknown selection tag {tag}")
+
+
+# -- tree codec ------------------------------------------------------------------
+
+
+def _encode_attrs(w: Writer, node: Node):
+    w.u32(len(node.attributes))
+    for name in sorted(node.attributes):
+        attr = node.attributes[name]
+        w.text(name)
+        w.blob(attr.dtype.encode())
+        w.blob(attr.space.encode())
+        if attr.value is None:
+            w.u8(0)
+        else:
+            w.u8(1)
+            w.blob(np.ascontiguousarray(attr.value).tobytes())
+
+
+def _decode_attrs(r: Reader, node: Node):
+    for _ in range(r.u32()):
+        name = r.text()
+        dtype = Datatype.decode(r.blob())
+        space = Dataspace.decode(r.blob())
+        attr = node.create_attribute(name, dtype, space)
+        if r.u8():
+            raw = r.blob()
+            val = np.frombuffer(raw, dtype=dtype.np)
+            attr.write(val.reshape(space.shape))
+
+
+def _encode_node(w: Writer, node: Node, data: Writer):
+    if isinstance(node, DatasetNode):
+        w.u8(_KIND_DATASET)
+        w.text(node.name)
+        _encode_attrs(w, node)
+        w.blob(node.dtype.encode())
+        w.blob(node.space.encode())
+        w.u8(0 if node.fill_value is None else 1)
+        if node.fill_value is not None:
+            w.blob(
+                np.asarray(node.fill_value, dtype=node.dtype.np).tobytes()
+            )
+        if node.chunks is None:
+            w.u8(0)
+        else:
+            w.u8(len(node.chunks))
+            for c in node.chunks:
+                w.u64(c)
+        w.u32(len(node.pieces))
+        for piece in node.pieces:
+            encode_selection(w, piece.selection)
+            payload = np.ascontiguousarray(piece.data).tobytes()
+            w.u64(data.nbytes)  # offset within the data section
+            w.u64(len(payload))
+            data.raw(payload)
+    elif isinstance(node, GroupNode):
+        w.u8(_KIND_GROUP)
+        w.text(node.name)
+        _encode_attrs(w, node)
+        w.u32(len(node.children))
+        for name in sorted(node.children):
+            _encode_node(w, node.children[name], data)
+    else:  # pragma: no cover - tree invariant
+        raise H5Error(f"cannot encode node {type(node).__name__}")
+
+
+def _decode_node(r: Reader, parent: GroupNode | None, data_section: bytes,
+                 lazy_data) -> Node:
+    kind = r.u8()
+    name = r.text()
+    if kind == _KIND_DATASET:
+        node = DatasetNode.__new__(DatasetNode)
+        Node.__init__(node, name, parent)
+        _decode_attrs(r, node)
+        node.dtype = Datatype.decode(r.blob())
+        node.space = Dataspace.decode(r.blob())
+        node.fill_value = None
+        if r.u8():
+            raw = r.blob()
+            node.fill_value = np.frombuffer(raw, dtype=node.dtype.np)[0]
+        nchunk_dims = r.u8()
+        node.chunks = tuple(r.u64() for _ in range(nchunk_dims)) \
+            if nchunk_dims else None
+        node.pieces = []
+        for _ in range(r.u32()):
+            sel = decode_selection(r)
+            off = r.u64()
+            length = r.u64()
+            raw = lazy_data(off, length) if lazy_data else \
+                data_section[off:off + length]
+            arr = np.frombuffer(raw, dtype=node.dtype.np).copy()
+            node.pieces.append(DataPiece(sel, arr))
+        if parent is not None:
+            parent.children[name] = node
+        return node
+    if kind == _KIND_GROUP:
+        node = GroupNode(name, None)
+        if parent is not None:
+            parent.children[name] = node
+            node.parent = parent
+        _decode_attrs(r, node)
+        for _ in range(r.u32()):
+            _decode_node(r, node, data_section, lazy_data)
+        return node
+    raise H5Error(f"unknown node kind {kind}")
+
+
+# -- whole-file codec ---------------------------------------------------------------
+
+
+def encode_file(root: FileNode) -> bytes:
+    """Serialize a file tree to the on-disk byte layout."""
+    meta = Writer()
+    data = Writer()
+    meta.u32(len(root.children))
+    _encode_attrs_root = Writer()  # root attrs go first in the meta block
+    _encode_attrs(_encode_attrs_root, root)
+    for name in sorted(root.children):
+        _encode_node(meta, root.children[name], data)
+    data_bytes = data.getvalue()
+    meta_bytes = _encode_attrs_root.getvalue() + meta.getvalue()
+    header = HEADER.pack(
+        MAGIC, VERSION, HEADER.size + len(data_bytes), len(meta_bytes)
+    )
+    return header + data_bytes + meta_bytes
+
+
+def decode_file(buf: bytes, name: str = "") -> FileNode:
+    """Parse the byte layout back into a file tree."""
+    if len(buf) < HEADER.size:
+        raise H5Error("file too small for header")
+    magic, version, meta_off, meta_len = HEADER.unpack_from(buf, 0)
+    if magic != MAGIC:
+        raise H5Error("bad magic: not a repro-h5 file")
+    if version != VERSION:
+        raise H5Error(f"unsupported format version {version}")
+    data_section = buf[HEADER.size:meta_off]
+    r = Reader(buf[meta_off:meta_off + meta_len])
+    root = FileNode(name, None)
+    _decode_attrs(r, root)
+    for _ in range(r.u32()):
+        _decode_node(r, root, data_section, None)
+    return root

@@ -1,0 +1,59 @@
+"""Property lists: knobs passed to create/open/transfer calls.
+
+These mirror HDF5's fapl/dcpl/dxpl property lists at the granularity our
+transports need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FileAccessProps:
+    """File-access properties (HDF5 ``fapl``).
+
+    Attributes
+    ----------
+    collective_metadata:
+        Whether metadata operations (create/open/close) are collective
+        over the file's communicator.
+    """
+
+    collective_metadata: bool = True
+
+
+@dataclass
+class DatasetCreateProps:
+    """Dataset-creation properties (HDF5 ``dcpl``).
+
+    ``chunks`` selects a chunked storage layout: the file stores the
+    dataset as independent fixed-shape tiles, which bounds lock
+    contention to the chunks a write touches (and is what makes
+    strided/partial parallel writes viable on Lustre).
+    """
+
+    fill_value: object | None = None
+    track_order: bool = False
+    chunks: tuple | None = None
+
+
+@dataclass
+class TransferProps:
+    """Data-transfer properties (HDF5 ``dxpl``).
+
+    Attributes
+    ----------
+    collective:
+        Use collective (two-phase, MPI-IO-like) I/O for file storage.
+        The paper's synthetic benchmarks "write collectively to a single
+        HDF5 file ... using MPI-IO".
+    """
+
+    collective: bool = True
+
+
+#: Defaults used when a call does not pass an explicit property list.
+DEFAULT_FAPL = FileAccessProps()
+DEFAULT_DCPL = DatasetCreateProps()
+DEFAULT_DXPL = TransferProps()

@@ -1,0 +1,520 @@
+"""Dataspace selection algebra.
+
+HDF5 dataspaces support selecting sub-regions of an N-dimensional extent
+via hyperslabs (start/stride/count/block per dimension) and point lists.
+LowFive's redistribution intersects the producer's written selections
+with the consumer's requested selections, so the core operation here is
+:meth:`Selection.intersect`.
+
+All hyperslab-like selections are *separable*: cartesian products of
+per-dimension index sets. The intersection of two separable selections
+is separable (intersect per dimension), which keeps intersection exact
+and vectorized for the full stride/block generality. Point selections
+are handled by coordinate masking.
+
+Selection order is row-major over the selected coordinates (HDF5's
+ordering for hyperslabs); point selections preserve their given order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.h5.errors import SelectionError
+
+
+def _as_tuple(x, ndim: int, name: str) -> tuple[int, ...]:
+    if np.isscalar(x):
+        x = (int(x),) * ndim
+    t = tuple(int(v) for v in x)
+    if len(t) != ndim:
+        raise SelectionError(f"{name} must have {ndim} entries, got {len(t)}")
+    return t
+
+
+class Selection(ABC):
+    """A set of selected coordinates within an N-d extent ``shape``."""
+
+    __slots__ = ("shape",)
+
+    def __init__(self, shape):
+        self.shape = tuple(int(s) for s in shape)
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions of the extent."""
+        return len(self.shape)
+
+    @property
+    @abstractmethod
+    def npoints(self) -> int:
+        """Number of selected elements."""
+
+    @abstractmethod
+    def coords(self) -> np.ndarray:
+        """(npoints, ndim) coordinate array in selection order."""
+
+    @abstractmethod
+    def extract(self, arr: np.ndarray) -> np.ndarray:
+        """Gather selected elements of ``arr`` (shaped ``shape``) into a
+        flat array in selection order."""
+
+    @abstractmethod
+    def scatter(self, values: np.ndarray, arr: np.ndarray) -> None:
+        """Inverse of :meth:`extract`: place ``values`` into ``arr``."""
+
+    @abstractmethod
+    def intersect(self, other: "Selection") -> "Selection":
+        """Selection of coordinates present in both (same extent)."""
+
+    @property
+    def is_separable(self) -> bool:
+        """True when the selection is a cartesian product of per-dim sets."""
+        return False
+
+    def per_dim_indices(self) -> list[np.ndarray]:
+        """Per-dimension sorted index arrays (separable selections only)."""
+        raise SelectionError(f"{type(self).__name__} is not separable")
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Bounding box as (inclusive mins, exclusive maxs); empty -> zeros."""
+        if self.npoints == 0:
+            z = np.zeros(self.ndim, dtype=np.int64)
+            return z, z.copy()
+        c = self.coords()
+        return c.min(axis=0), c.max(axis=0) + 1
+
+    def translate(self, offset, new_shape=None) -> "Selection":
+        """Shift every coordinate by ``-offset`` into a space ``new_shape``.
+
+        Used to map file-space coordinates into a locally stored block
+        whose origin sits at ``offset`` in the file space.
+        """
+        off = np.asarray(offset, dtype=np.int64)
+        shape = self.shape if new_shape is None else tuple(new_shape)
+        c = self.coords() - off
+        if c.size and (c.min() < 0 or (c >= np.asarray(shape)).any()):
+            raise SelectionError("translated selection exits the new extent")
+        return PointSelection(shape, c)
+
+    def same_elements(self, other: "Selection") -> bool:
+        """True when both select the same coordinate set (order ignored)."""
+        if self.shape != other.shape or self.npoints != other.npoints:
+            return False
+        a = {tuple(c) for c in self.coords()}
+        b = {tuple(c) for c in other.coords()}
+        return a == b
+
+    def _check_extent(self, other: "Selection") -> None:
+        if self.shape != other.shape:
+            raise SelectionError(
+                f"extent mismatch: {self.shape} vs {other.shape}"
+            )
+
+
+class _SeparableSelection(Selection):
+    """Common machinery for cartesian-product selections."""
+
+    __slots__ = ()
+
+    is_separable = True
+
+    @property
+    def npoints(self) -> int:
+        """Product of per-dimension set sizes."""
+        n = 1
+        for idx in self.per_dim_indices():
+            n *= len(idx)
+        return n
+
+    def coords(self) -> np.ndarray:
+        idx = self.per_dim_indices()
+        if any(len(i) == 0 for i in idx):
+            return np.empty((0, self.ndim), dtype=np.int64)
+        grids = np.meshgrid(*idx, indexing="ij")
+        return np.stack([g.ravel() for g in grids], axis=1).astype(np.int64)
+
+    def _slices(self):
+        """Per-dim slices when every dim is a contiguous run, else None."""
+        out = []
+        for idx in self.per_dim_indices():
+            if len(idx) == 0:
+                return None
+            lo, hi = int(idx[0]), int(idx[-1])
+            if hi - lo + 1 != len(idx):
+                return None
+            out.append(slice(lo, hi + 1))
+        return tuple(out)
+
+    def extract(self, arr: np.ndarray) -> np.ndarray:
+        if tuple(arr.shape) != self.shape:
+            raise SelectionError(
+                f"array shape {arr.shape} != extent {self.shape}"
+            )
+        sl = self._slices()
+        if sl is not None:
+            return np.ascontiguousarray(arr[sl]).reshape(-1)
+        return arr[np.ix_(*self.per_dim_indices())].reshape(-1)
+
+    def scatter(self, values: np.ndarray, arr: np.ndarray) -> None:
+        if tuple(arr.shape) != self.shape:
+            raise SelectionError(
+                f"array shape {arr.shape} != extent {self.shape}"
+            )
+        values = np.asarray(values).reshape(-1)
+        if values.size != self.npoints:
+            raise SelectionError(
+                f"value count {values.size} != selection size {self.npoints}"
+            )
+        idx = self.per_dim_indices()
+        sl = self._slices()
+        box = tuple(len(i) for i in idx)
+        if sl is not None:
+            arr[sl] = values.reshape(box)
+        else:
+            arr[np.ix_(*idx)] = values.reshape(box)
+
+    def intersect(self, other: Selection) -> Selection:
+        self._check_extent(other)
+        if isinstance(other, NoneSelection):
+            return other
+        if other.is_separable:
+            mine = self.per_dim_indices()
+            theirs = other.per_dim_indices()
+            idx = [
+                np.intersect1d(a, b, assume_unique=True)
+                for a, b in zip(mine, theirs)
+            ]
+            if any(len(i) == 0 for i in idx):
+                return NoneSelection(self.shape)
+            return IndexSetSelection(self.shape, idx).simplify()
+        # point selection (or anything coordinate-based): mask its points
+        return other.intersect(self)
+
+    def translate(self, offset, new_shape=None) -> Selection:
+        """Separable translate stays separable (and vectorized)."""
+        off = np.asarray(offset, dtype=np.int64)
+        shape = self.shape if new_shape is None else tuple(new_shape)
+        idx = [a - off[d] for d, a in enumerate(self.per_dim_indices())]
+        for d, a in enumerate(idx):
+            if a.size and (a[0] < 0 or a[-1] >= shape[d]):
+                raise SelectionError("translated selection exits the new extent")
+        return IndexSetSelection(shape, idx).simplify()
+
+    def simplify(self) -> "Selection":
+        """Return an equivalent, more specific selection when possible."""
+        return self
+
+
+class AllSelection(_SeparableSelection):
+    """The entire extent."""
+
+    __slots__ = ("_idx",)
+
+    def __init__(self, shape):
+        super().__init__(shape)
+        self._idx = [np.arange(s, dtype=np.int64) for s in self.shape]
+
+    def per_dim_indices(self):
+        return self._idx
+
+    def extract(self, arr):
+        if tuple(arr.shape) != self.shape:
+            raise SelectionError(
+                f"array shape {arr.shape} != extent {self.shape}"
+            )
+        return np.ascontiguousarray(arr).reshape(-1)
+
+    def __repr__(self):
+        return f"AllSelection(shape={self.shape})"
+
+
+class NoneSelection(Selection):
+    """The empty selection."""
+
+    __slots__ = ()
+
+    @property
+    def npoints(self) -> int:
+        """Always 0."""
+        return 0
+
+    def coords(self):
+        return np.empty((0, self.ndim), dtype=np.int64)
+
+    def extract(self, arr):
+        return np.empty(0, dtype=arr.dtype)
+
+    def scatter(self, values, arr):
+        if np.asarray(values).size:
+            raise SelectionError("cannot scatter into an empty selection")
+
+    def intersect(self, other):
+        self._check_extent(other)
+        return self
+
+    def __repr__(self):
+        return f"NoneSelection(shape={self.shape})"
+
+
+class HyperslabSelection(_SeparableSelection):
+    """HDF5 hyperslab: per dim, ``count`` blocks of ``block`` elements
+    spaced ``stride`` apart starting at ``start``."""
+
+    __slots__ = ("start", "count", "stride", "block", "_idx")
+
+    def __init__(self, shape, start, count, stride=None, block=None):
+        super().__init__(shape)
+        nd = self.ndim
+        self.start = _as_tuple(start, nd, "start")
+        self.count = _as_tuple(count, nd, "count")
+        self.stride = _as_tuple(1 if stride is None else stride, nd, "stride")
+        self.block = _as_tuple(1 if block is None else block, nd, "block")
+        idx = []
+        for d in range(nd):
+            s, c, st, b = self.start[d], self.count[d], self.stride[d], self.block[d]
+            if s < 0 or c < 0 or st < 1 or b < 1:
+                raise SelectionError(
+                    f"invalid hyperslab in dim {d}: start={s} count={c} "
+                    f"stride={st} block={b}"
+                )
+            if b > st:
+                raise SelectionError(
+                    f"block {b} may not exceed stride {st} (dim {d})"
+                )
+            if c > 0:
+                last = s + (c - 1) * st + b
+                if last > self.shape[d]:
+                    raise SelectionError(
+                        f"hyperslab exceeds extent in dim {d}: "
+                        f"reaches {last} > {self.shape[d]}"
+                    )
+            block_starts = s + st * np.arange(c, dtype=np.int64)
+            idx.append(
+                (block_starts[:, None] + np.arange(b, dtype=np.int64)).reshape(-1)
+            )
+        self._idx = idx
+
+    def per_dim_indices(self):
+        return self._idx
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when the selection is one solid box."""
+        return all(
+            c <= 1 or st == b
+            for c, st, b in zip(self.count, self.stride, self.block)
+        )
+
+    def box(self) -> tuple[np.ndarray, np.ndarray]:
+        """(start, extent) of the bounding box."""
+        return self.bounds()
+
+    def __repr__(self):
+        return (
+            f"HyperslabSelection(shape={self.shape}, start={self.start}, "
+            f"count={self.count}, stride={self.stride}, block={self.block})"
+        )
+
+
+class IndexSetSelection(_SeparableSelection):
+    """Cartesian product of explicit per-dimension index sets.
+
+    Closed under intersection with any separable selection; produced by
+    :meth:`Selection.intersect`.
+    """
+
+    __slots__ = ("_idx",)
+
+    def __init__(self, shape, per_dim):
+        super().__init__(shape)
+        if len(per_dim) != self.ndim:
+            raise SelectionError("need one index array per dimension")
+        idx = []
+        for d, a in enumerate(per_dim):
+            a = np.asarray(a, dtype=np.int64).reshape(-1)
+            if a.size and (a.min() < 0 or a.max() >= self.shape[d]):
+                raise SelectionError(f"indices out of range in dim {d}")
+            if a.size > 1 and not (np.diff(a) > 0).all():
+                a = np.unique(a)
+            idx.append(a)
+        self._idx = idx
+
+    def per_dim_indices(self):
+        return self._idx
+
+    def simplify(self) -> Selection:
+        """Collapse to a hyperslab when every dim is a contiguous run."""
+        starts, counts = [], []
+        for d, a in enumerate(self._idx):
+            if len(a) == 0:
+                return NoneSelection(self.shape)
+            lo, hi = int(a[0]), int(a[-1])
+            if hi - lo + 1 != len(a):
+                return self
+            starts.append(lo)
+            counts.append(len(a))
+        return HyperslabSelection(self.shape, starts, counts)
+
+    def __repr__(self):
+        sizes = tuple(len(a) for a in self._idx)
+        return f"IndexSetSelection(shape={self.shape}, sizes={sizes})"
+
+
+class PointSelection(Selection):
+    """An explicit, ordered list of coordinates."""
+
+    __slots__ = ("_coords",)
+
+    def __init__(self, shape, coords):
+        super().__init__(shape)
+        c = np.asarray(coords, dtype=np.int64)
+        if c.size == 0:
+            c = c.reshape(0, self.ndim)
+        if c.ndim == 1 and self.ndim == 1:
+            c = c[:, None]
+        if c.ndim != 2 or c.shape[1] != self.ndim:
+            raise SelectionError(
+                f"coords must be (k, {self.ndim}), got {c.shape}"
+            )
+        if c.size and (
+            (c < 0).any() or (c >= np.asarray(self.shape, dtype=np.int64)).any()
+        ):
+            raise SelectionError("point coordinates out of extent")
+        self._coords = c
+
+    @property
+    def npoints(self) -> int:
+        """Number of selected points."""
+        return self._coords.shape[0]
+
+    def coords(self) -> np.ndarray:
+        return self._coords
+
+    def extract(self, arr):
+        if tuple(arr.shape) != self.shape:
+            raise SelectionError(
+                f"array shape {arr.shape} != extent {self.shape}"
+            )
+        if self.npoints == 0:
+            return np.empty(0, dtype=arr.dtype)
+        return arr[tuple(self._coords.T)]
+
+    def scatter(self, values, arr):
+        if tuple(arr.shape) != self.shape:
+            raise SelectionError(
+                f"array shape {arr.shape} != extent {self.shape}"
+            )
+        values = np.asarray(values).reshape(-1)
+        if values.size != self.npoints:
+            raise SelectionError("value count != selection size")
+        if self.npoints:
+            arr[tuple(self._coords.T)] = values
+
+    def intersect(self, other: Selection) -> Selection:
+        self._check_extent(other)
+        if isinstance(other, NoneSelection) or self.npoints == 0:
+            return NoneSelection(self.shape)
+        if other.is_separable:
+            mask = np.ones(self.npoints, dtype=bool)
+            for d, idx in enumerate(other.per_dim_indices()):
+                mask &= np.isin(self._coords[:, d], idx)
+            kept = self._coords[mask]
+        else:
+            theirs = {tuple(c) for c in other.coords()}
+            keep = [i for i, c in enumerate(self._coords)
+                    if tuple(c) in theirs]
+            kept = self._coords[keep]
+        if kept.shape[0] == 0:
+            return NoneSelection(self.shape)
+        return PointSelection(self.shape, kept)
+
+    def __repr__(self):
+        return f"PointSelection(shape={self.shape}, npoints={self.npoints})"
+
+
+# -- unbound selection specs (bound to a dataspace by the API layer) -------
+
+
+class SelectionSpec:
+    """A selection description not yet bound to an extent."""
+
+    def bind(self, shape) -> Selection:  # pragma: no cover - interface
+        """Materialize onto a concrete extent."""
+        raise NotImplementedError
+
+
+class _HyperslabSpec(SelectionSpec):
+    def __init__(self, start, count, stride=None, block=None):
+        self.start, self.count = start, count
+        self.stride, self.block = stride, block
+
+    def bind(self, shape) -> Selection:
+        return HyperslabSelection(
+            shape, self.start, self.count, self.stride, self.block
+        )
+
+
+class _PointsSpec(SelectionSpec):
+    def __init__(self, coords):
+        self.coords = coords
+
+    def bind(self, shape) -> Selection:
+        return PointSelection(shape, self.coords)
+
+
+class _AllSpec(SelectionSpec):
+    def bind(self, shape) -> Selection:
+        return AllSelection(shape)
+
+
+def hyperslab(start, count, stride=None, block=None) -> SelectionSpec:
+    """Unbound hyperslab spec; bound to a dataset's shape by the API."""
+    return _HyperslabSpec(start, count, stride, block)
+
+
+def points(coords) -> SelectionSpec:
+    """Unbound point-selection spec."""
+    return _PointsSpec(coords)
+
+
+def select_all() -> SelectionSpec:
+    """Unbound whole-extent spec."""
+    return _AllSpec()
+
+
+def chunks_touched(sel: Selection, chunk_shape) -> int:
+    """Number of fixed-shape chunks a selection intersects.
+
+    Drives the chunk-aware I/O cost model (each touched chunk is one
+    lock/IO unit on the file system).
+    """
+    chunk_shape = tuple(int(c) for c in chunk_shape)
+    if len(chunk_shape) != sel.ndim or any(c < 1 for c in chunk_shape):
+        raise SelectionError(f"bad chunk shape {chunk_shape}")
+    if sel.npoints == 0:
+        return 0
+    if sel.is_separable:
+        n = 1
+        for idx, c in zip(sel.per_dim_indices(), chunk_shape):
+            n *= len(np.unique(idx // c))
+        return int(n)
+    coords = sel.coords() // np.asarray(chunk_shape, dtype=np.int64)
+    return int(len(np.unique(coords, axis=0)))
+
+
+def bind_selection(sel, shape) -> Selection:
+    """Coerce ``sel`` (None, spec, or bound selection) onto ``shape``."""
+    if sel is None:
+        return AllSelection(shape)
+    if isinstance(sel, SelectionSpec):
+        return sel.bind(shape)
+    if isinstance(sel, Selection):
+        if sel.shape != tuple(shape):
+            raise SelectionError(
+                f"selection extent {sel.shape} != dataspace shape {tuple(shape)}"
+            )
+        return sel
+    raise SelectionError(f"cannot interpret selection: {sel!r}")

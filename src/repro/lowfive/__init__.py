@@ -1,0 +1,46 @@
+"""LowFive: in situ data transport as an HDF5 VOL plugin (the paper's
+primary contribution).
+
+Three layered connectors, mirroring paper Sec. III-A:
+
+- :class:`~repro.lowfive.vol_base.LowFiveBase` -- the *base VOL*: any
+  operation not intercepted passes through to native file I/O;
+- :class:`~repro.lowfive.vol_metadata.MetadataVOL` -- builds an in-memory
+  replica of the HDF5 metadata hierarchy per rank, with deep/shallow
+  (zero-copy) data ownership configurable per dataset, and optional
+  passthrough to physical storage (*file mode*);
+- :class:`~repro.lowfive.vol_dist.DistMetadataVOL` -- the *distributed
+  metadata VOL*: producers index and serve their written data spaces,
+  consumers query them, over an MPI RPC abstraction; implements the
+  index-serve-query redistribution of paper Sec. III-B (Algorithms 1-3)
+  with full n-to-m generality.
+
+Typical wiring (one producer task, one consumer task)::
+
+    vol = DistMetadataVOL(comm=task_comm, under=NativeVOL(store))
+    vol.set_memory("*.h5", "*")             # keep datasets in memory
+    vol.serve_on_close("out.h5", inter)     # producer side
+    # or, consumer side:
+    vol.set_consumer("out.h5", inter)
+
+    f = h5.File("out.h5", "w", comm=task_comm, vol=vol)  # unchanged user code
+"""
+
+from repro.lowfive.config import LowFiveConfig, CostConfig
+from repro.lowfive.rpc import RPCServer, RPCClient
+from repro.lowfive.vol_base import LowFiveBase
+from repro.lowfive.vol_metadata import MetadataVOL
+from repro.lowfive.vol_dist import DistMetadataVOL
+from repro.lowfive.vol_staged import StagedMetadataVOL, staging_main
+
+__all__ = [
+    "LowFiveConfig",
+    "CostConfig",
+    "RPCServer",
+    "RPCClient",
+    "LowFiveBase",
+    "MetadataVOL",
+    "DistMetadataVOL",
+    "StagedMetadataVOL",
+    "staging_main",
+]

@@ -1,0 +1,82 @@
+"""Fine-grained phase profiling for the distributed VOL.
+
+Paper Sec. V-C: "We are working on profiling our communication at finer
+grain in order to see where the remaining bottlenecks are." This module
+provides that: per-rank accumulation of virtual time spent in each
+transport phase (write, index, serve, metadata open, query), plus
+message/byte counters, exposed via
+:meth:`~repro.lowfive.vol_dist.DistMetadataVOL.phase_stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated per-rank phase costs (virtual seconds + counters)."""
+
+    seconds: dict = field(default_factory=dict)
+    counts: dict = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Accumulate ``seconds`` under ``phase``."""
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+        self.counts[phase] = self.counts.get(phase, 0) + 1
+
+    def total(self) -> float:
+        """Total profiled seconds across phases."""
+        return sum(self.seconds.values())
+
+    def breakdown(self) -> dict:
+        """Phase -> fraction of profiled time."""
+        tot = self.total()
+        if tot <= 0:
+            return {k: 0.0 for k in self.seconds}
+        return {k: v / tot for k, v in self.seconds.items()}
+
+    def merge(self, other: "PhaseStats") -> "PhaseStats":
+        """Combined stats of ``self`` and ``other`` (pure)."""
+        out = PhaseStats(dict(self.seconds), dict(self.counts))
+        for k, v in other.seconds.items():
+            out.seconds[k] = out.seconds.get(k, 0.0) + v
+        for k, v in other.counts.items():
+            out.counts[k] = out.counts.get(k, 0) + v
+        return out
+
+
+class Profiler:
+    """Per-rank phase profiler keyed like the VOL's rank state."""
+
+    def __init__(self):
+        self._stats: dict[int, PhaseStats] = {}
+        self._lock = threading.Lock()
+
+    def stats_for(self, rank_key: int) -> PhaseStats:
+        """The (created-on-demand) stats of one rank."""
+        with self._lock:
+            st = self._stats.get(rank_key)
+            if st is None:
+                st = PhaseStats()
+                self._stats[rank_key] = st
+            return st
+
+    @contextmanager
+    def phase(self, rank_key: int, name: str, comm):
+        """Measure the virtual-time cost of a phase on this rank."""
+        if comm is None:
+            yield
+            return
+        start = comm.vtime
+        try:
+            yield
+        finally:
+            self.stats_for(rank_key).add(name, comm.vtime - start)
+
+    def all_stats(self) -> dict[int, PhaseStats]:
+        """Snapshot of every rank's stats."""
+        with self._lock:
+            return dict(self._stats)

@@ -1,0 +1,195 @@
+"""Remote procedure calls over (simulated) MPI intercommunicators.
+
+The paper: "The index, serve, and query functions are written using a
+custom remote procedure call (RPC) abstraction implemented over MPI."
+This module is that abstraction: a :class:`RPCServer` registers named
+handlers and answers requests from the remote group; an
+:class:`RPCClient` issues blocking calls and one-way notifications.
+
+A server can multiplex several intercommunicators (fan-out to multiple
+consumer tasks): it polls each in turn. Termination is cooperative: each
+remote rank sends a ``done`` control message; the serve loop exits once
+every remote rank of every intercomm is done.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.simmpi import ANY_SOURCE, Intercomm
+
+#: Tag used for RPC requests (client -> server).
+TAG_REQUEST = 701
+#: Tag used for RPC replies (server -> client).
+TAG_REPLY = 702
+#: Tag used for out-of-band control notifications.
+TAG_CTRL = 703
+
+
+class RPCError(RuntimeError):
+    """A handler raised, or an unknown function was called."""
+
+
+class Defer(Exception):
+    """Raised by a handler to postpone a request to the next serve epoch.
+
+    Used when a consumer asks about a file the producer has not closed
+    (and therefore not indexed) yet: the request is stashed and replayed
+    at the start of the next :meth:`RPCServer.serve`.
+    """
+
+
+class RPCClient:
+    """Issues calls to the remote group of an intercommunicator."""
+
+    def __init__(self, inter: Intercomm):
+        self.inter = inter
+
+    @property
+    def remote_size(self) -> int:
+        """Number of remote (server) ranks."""
+        return self.inter.remote_size
+
+    def call(self, dest: int, fn: str, *args, nbytes: int | None = None):
+        """Blocking call of ``fn(*args)`` on remote rank ``dest``."""
+        self.inter.send((fn, args), dest, TAG_REQUEST, nbytes=nbytes)
+        reply, _ = self.inter.recv(source=dest, tag=TAG_REPLY)
+        ok, payload = reply
+        if not ok:
+            raise RPCError(f"remote {fn!r} failed: {payload}")
+        return payload
+
+    def notify(self, dest: int, fn: str, *args,
+               nbytes: int | None = None) -> None:
+        """One-way notification: no reply is produced or awaited."""
+        self.inter.send((fn, args), dest, TAG_CTRL, nbytes=nbytes)
+
+    def notify_all(self, fn: str, *args) -> None:
+        """Notify every remote rank."""
+        for dest in range(self.inter.remote_size):
+            self.notify(dest, fn, *args)
+
+
+class RPCServer:
+    """Serves registered handlers over one or more intercommunicators.
+
+    Handlers are ``fn(source_rank, *args) -> payload``; the payload is
+    sent back as the reply. Control notifications dispatch to handlers
+    registered with :meth:`on_notify` and produce no reply.
+    """
+
+    #: Real-time sleep between empty polls (the simulated clock is not
+    #: advanced by idle waiting -- servers are passive between requests).
+    _IDLE_SLEEP = 0.0005
+
+    def __init__(self):
+        self._inters: list[Intercomm] = []
+        self._handlers = {}
+        self._notify_handlers = {}
+        self._done: dict[int, set[int]] = {}
+        self._pending: list[tuple[Intercomm, object, int]] = []
+
+    def attach(self, inter: Intercomm) -> None:
+        """Listen for requests arriving on ``inter``."""
+        if inter not in self._inters:
+            self._inters.append(inter)
+            self._done[id(inter)] = set()
+
+    def register(self, name: str, handler) -> None:
+        """Register a call handler ``handler(source, *args)``."""
+        self._handlers[name] = handler
+
+    def on_notify(self, name: str, handler) -> None:
+        """Register a notification handler ``handler(source, *args)``."""
+        self._notify_handlers[name] = handler
+
+    # -- serving ----------------------------------------------------------------
+
+    def _handle_request(self, inter: Intercomm, payload, source: int) -> None:
+        fn, args = payload
+        handler = self._handlers.get(fn)
+        if handler is None:
+            inter.send((False, f"unknown function {fn!r}"), source, TAG_REPLY)
+            return
+        try:
+            result = handler(source, *args)
+        except Defer:
+            self._pending.append((inter, payload, source))
+            return
+        except Exception as exc:  # noqa: BLE001 - forwarded to caller
+            inter.send((False, f"{type(exc).__name__}: {exc}"), source,
+                       TAG_REPLY)
+            return
+        inter.send((True, result), source, TAG_REPLY)
+
+    def _handle_ctrl(self, inter: Intercomm, payload, source: int) -> None:
+        fn, args = payload
+        if fn == "__done__":
+            self._done[id(inter)].add(source)
+            return
+        handler = self._notify_handlers.get(fn)
+        if handler is not None:
+            handler(source, *args)
+
+    def _all_done(self) -> bool:
+        return all(
+            len(self._done[id(i)]) >= i.remote_size for i in self._inters
+        )
+
+    def poll_once(self) -> bool:
+        """Answer at most one pending message per intercomm.
+
+        Returns True when anything was handled.
+        """
+        progressed = False
+        for inter in self._inters:
+            got = inter._try_recv(ANY_SOURCE, TAG_REQUEST)
+            if got is not None:
+                payload, status = got
+                self._handle_request(inter, payload, status.source)
+                progressed = True
+                continue
+            got = inter._try_recv(ANY_SOURCE, TAG_CTRL)
+            if got is not None:
+                payload, status = got
+                self._handle_ctrl(inter, payload, status.source)
+                progressed = True
+        return progressed
+
+    def serve(self, timeout: float = 60.0) -> None:
+        """Answer requests until every remote rank has sent ``done``.
+
+        The paper's Algorithm 2: producers sit in this loop after
+        closing a file, answering intersection and data queries.
+        ``timeout`` is real time between handled messages; exceeding it
+        means a peer hung, so we fail loudly.
+        """
+        if not self._inters:
+            return
+        # Replay requests deferred from earlier epochs (e.g. queries for
+        # a file that had not been closed/indexed at the time).
+        replay, self._pending = self._pending, []
+        for inter, payload, source in replay:
+            self._handle_request(inter, payload, source)
+        idle = 0.0
+        while not self._all_done():
+            self._inters[0].engine.check_failed()
+            if self.poll_once():
+                idle = 0.0
+                # New traffic may unblock previously deferred requests
+                # (e.g. a registration arriving completes coverage).
+                if self._pending:
+                    replay, self._pending = self._pending, []
+                    for inter, payload, source in replay:
+                        self._handle_request(inter, payload, source)
+            else:
+                if idle >= timeout:
+                    raise RPCError(
+                        f"serve loop idle for {timeout:.0f}s real time; "
+                        "consumers never signalled done"
+                    )
+                time.sleep(self._IDLE_SLEEP)
+                idle += self._IDLE_SLEEP
+        # Reset for a potential next serve epoch (next file close).
+        for inter in self._inters:
+            self._done[id(inter)] = set()

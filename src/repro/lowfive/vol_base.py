@@ -1,0 +1,19 @@
+"""LowFive base VOL: transparent passthrough to native file I/O.
+
+Paper Sec. III-A(a): "The lowest level of our plugin is the base layer.
+Any HDF5 functions that are not redefined in the subsequent layers are
+caught at this base layer and pass through to native HDF5 file I/O."
+"""
+
+from __future__ import annotations
+
+from repro.h5.vol import PassthroughVOL, VOLBase
+
+
+class LowFiveBase(PassthroughVOL):
+    """Passthrough layer at the bottom of the LowFive VOL stack."""
+
+    name = "lowfive-base"
+
+    def __init__(self, under: VOLBase | None = None):
+        super().__init__(under)

@@ -1,0 +1,545 @@
+"""Distributed metadata VOL: index-serve-query redistribution.
+
+Paper Sec. III-A(c) and III-B. Producers and consumers are separate
+tasks with their own communicators, linked by intercommunicators. The
+producer and consumer implicitly agree on the *common decomposition* of
+each dataset (a regular grid of ``n`` blocks, ``n`` = number of producer
+processes, block ``i`` owned by producer ``i``); redistribution then
+proceeds in three phases:
+
+- **Index** (Algorithm 1): at file close, every producer sends the
+  bounding boxes of its written data spaces to the owners of the common
+  blocks they intersect (implemented as one all-to-all over the producer
+  communicator -- "indexing the dataset is a collective operation").
+- **Serve** (Algorithm 2): producers answer consumer queries until all
+  consumer ranks signal done (at their file close).
+- **Query** (Algorithm 3): to read a data space, a consumer asks the
+  common-block owners which producers hold intersecting data, then
+  requests the actual intersections from those producers, point-to-point
+  and fully parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+import numpy as np
+
+from repro.diy import Bounds, RegularDecomposer
+from repro.h5 import format as h5format
+from repro.h5.errors import NotFoundError
+from repro.h5.objects import DatasetNode, FileNode, GroupNode
+from repro.lowfive.profile import PhaseStats, Profiler
+from repro.lowfive.rpc import Defer, RPCClient, RPCServer
+from repro.lowfive.vol_metadata import LFFile, LFToken, MetadataVOL
+
+
+@dataclass
+class IndexedBox:
+    """One indexed bounding box: who wrote data intersecting my block."""
+
+    bounds: Bounds
+    owner: int  # producer rank holding the actual data
+
+
+def _skeleton_bytes(root: FileNode) -> bytes:
+    """Serialize the metadata hierarchy without any data payloads."""
+    copy = FileNode(root.name)
+
+    def clone(src, dst_parent):
+        for name in sorted(src.children):
+            child = src.children[name]
+            if isinstance(child, DatasetNode):
+                node = DatasetNode(name, child.dtype, child.space,
+                                   fill_value=child.fill_value)
+                dst_parent.add_child(node)
+            else:
+                node = dst_parent.add_child(GroupNode(name))
+                clone(child, node)
+            for aname, attr in child.attributes.items():
+                a = node.create_attribute(aname, attr.dtype, attr.space)
+                if attr.value is not None:
+                    a.write(attr.value)
+        return dst_parent
+
+    for aname, attr in root.attributes.items():
+        a = copy.create_attribute(aname, attr.dtype, attr.space)
+        if attr.value is not None:
+            a.write(attr.value)
+    clone(root, copy)
+    return h5format.encode_file(copy)
+
+
+class _RankState:
+    """Per-rank distributed state: RPC server + indexed boxes."""
+
+    def __init__(self):
+        self.server = RPCServer()
+        # (fname, dset path) -> list[IndexedBox] for MY common block
+        self.boxes: dict[tuple[str, str], list[IndexedBox]] = {}
+        self.ready_files: set[str] = set()
+        self.served_files: set[str] = set()  # closed + indexed
+        self.handlers_installed = False
+
+
+class DistMetadataVOL(MetadataVOL):
+    """The full LowFive connector with in situ n-to-m redistribution.
+
+    Parameters
+    ----------
+    comm:
+        This task's (local) communicator; the index phase is collective
+        over it.
+    under, config, costs:
+        As in :class:`~repro.lowfive.vol_metadata.MetadataVOL`.
+    """
+
+    name = "lowfive-distributed"
+
+    def __init__(self, comm, under=None, config=None, costs=None):
+        super().__init__(under, config, costs)
+        self.comm = comm
+        self._producer_inters: list[tuple[str, object]] = []
+        self._consumer_inters: list[tuple[str, object]] = []
+        self._rank_states: dict[int, _RankState] = {}
+        self._state_lock = threading.Lock()
+        self._push_patterns: list[str] = []
+        #: Fine-grained per-phase profiling (paper Sec. V-C future work).
+        self.profiler = Profiler()
+
+    # -- wiring -----------------------------------------------------------
+
+    def serve_on_close(self, file_pattern: str, inter) -> None:
+        """Producer role: at close of matching files, index and serve
+        consumers on ``inter`` until they are done."""
+        self._producer_inters.append((file_pattern, inter))
+
+    def set_consumer(self, file_pattern: str, inter) -> None:
+        """Consumer role: open matching files remotely over ``inter``."""
+        self._consumer_inters.append((file_pattern, inter))
+
+    def enable_push(self, file_pattern: str) -> None:
+        """Producer-push extension (paper Sec. V-C direction: reduce
+        synchronization / schedule communication).
+
+        For matching files, producers proactively *push* each consumer
+        rank's share of every dataset at file close -- assuming the
+        consumer reads the regular block decomposition over its own rank
+        count, which both sides compute independently (the same implicit
+        agreement as the common decomposition). Reads covered by the
+        pushed data are served locally with no query round trips; other
+        selections transparently fall back to index-serve-query. Both
+        sides must call this with the same pattern.
+        """
+        self._push_patterns.append(file_pattern)
+
+    def _push_enabled(self, fname: str) -> bool:
+        return any(fnmatchcase(fname, p) for p in self._push_patterns)
+
+    def _rank_state(self) -> _RankState:
+        key = self._rank_key(self.comm)
+        with self._state_lock:
+            st = self._rank_states.get(key)
+            if st is None:
+                st = _RankState()
+                self._rank_states[key] = st
+            return st
+
+    def _producer_matches(self, fname: str):
+        return [i for pat, i in self._producer_inters
+                if fnmatchcase(fname, pat)]
+
+    def _consumer_matches(self, fname: str):
+        return [i for pat, i in self._consumer_inters
+                if fnmatchcase(fname, pat)]
+
+    # -- producer side: index (Algorithm 1) ----------------------------------
+
+    def _index_file(self, fname: str) -> None:
+        """Collective over the producer comm: exchange written bounding
+        boxes so each rank indexes its common-decomposition block."""
+        comm = self.comm
+        with self.profiler.phase(self._rank_key(comm), "index", comm):
+            self._index_file_impl(fname)
+
+    def _index_file_impl(self, fname: str) -> None:
+        comm = self.comm
+        root = self.get_tree(comm, fname)
+        if root is None:
+            return
+        nprocs = comm.size
+        outgoing: list[list] = [[] for _ in range(nprocs)]
+        ntests = 0
+        for node in root.walk():
+            if not isinstance(node, DatasetNode):
+                continue
+            dec = RegularDecomposer(node.space.shape, nprocs)
+            for piece in node.pieces:
+                bb = Bounds.from_selection(piece.selection)
+                gids = dec.blocks_intersecting(bb)
+                ntests += max(1, len(gids))
+                for gid in gids:
+                    outgoing[gid].append(
+                        (node.path, tuple(bb.min), tuple(bb.max))
+                    )
+        comm.compute(self.costs.per_box_test * ntests)
+        # Synchronization skew of the collective index + close epoch.
+        comm.compute(
+            self.costs.sync_factor * 0.5
+            * comm.model.epoch_jitter(comm.engine.nprocs)
+        )
+        incoming = comm.alltoall(outgoing)
+        st = self._rank_state()
+        for src, entries in enumerate(incoming):
+            for path, bmin, bmax in entries:
+                st.boxes.setdefault((fname, path), []).append(
+                    IndexedBox(Bounds(bmin, bmax), src)
+                )
+
+    # -- producer-push extension ---------------------------------------------
+
+    #: Tag for proactively pushed data bundles.
+    TAG_PUSH = 705
+
+    def _push_file(self, fname: str, inters) -> None:
+        """Push each consumer rank's regular-block share of every
+        dataset (one bundle message per consumer rank)."""
+        comm = self.comm
+        root = self.get_tree(comm, fname)
+        if root is None:
+            return
+        with self.profiler.phase(self._rank_key(comm), "push", comm):
+            for inter in inters:
+                ncons = inter.remote_size
+                for crank in range(ncons):
+                    bundle = []
+                    nbytes = 0
+                    for node in root.walk():
+                        if not isinstance(node, DatasetNode):
+                            continue
+                        dec = RegularDecomposer(node.space.shape, ncons)
+                        if crank >= dec.ngrid_blocks:
+                            continue
+                        blk = dec.block_bounds(crank).to_selection(
+                            node.space.shape
+                        )
+                        for piece in node.pieces:
+                            overlap = piece.selection.intersect(blk)
+                            if overlap.npoints == 0:
+                                continue
+                            local = overlap.translate(
+                                piece.selection.bounds()[0],
+                                _box_shape(piece.selection),
+                            )
+                            if _is_dense(piece.selection):
+                                src = piece.data.reshape(
+                                    _box_shape(piece.selection)
+                                )
+                                values = local.extract(src)
+                            else:
+                                values = _gather_sparse(
+                                    piece, overlap, node.dtype.np
+                                )
+                            bundle.append((node.path, overlap, values))
+                            nbytes += int(values.nbytes)
+                    comm.charge_memcpy(nbytes)
+                    inter.send((fname, bundle), crank, self.TAG_PUSH)
+
+    def _receive_pushes(self, fname: str, root: FileNode, comm, inter):
+        """Consumer side: absorb one push bundle from every producer."""
+        from repro.h5.objects import OWN_SHALLOW
+
+        for _ in range(inter.remote_size):
+            (fn, bundle), _st = inter.recv(tag=self.TAG_PUSH)
+            for path, overlap, values in bundle:
+                node = root.lookup(path)
+                node.write(overlap, values, OWN_SHALLOW)
+
+    @staticmethod
+    def _covered(node: DatasetNode, selection) -> bool:
+        """True when stored pieces fully cover ``selection``."""
+        remaining = selection.npoints
+        if remaining == 0:
+            return True
+        got = 0
+        for piece in node.pieces:
+            got += piece.selection.intersect(selection).npoints
+        # Pushed pieces are disjoint (they tile the consumer block).
+        return got >= remaining
+
+    # -- producer side: serve (Algorithm 2) --------------------------------------
+
+    def _install_handlers(self, st: _RankState) -> None:
+        """Register the serve-side RPC handlers once per rank.
+
+        Handlers are generic over file names; a request for a file this
+        rank has not closed (and indexed) yet is deferred to the next
+        serve epoch, which is how the consumer's open blocks until the
+        producer's close signals that data are ready.
+        """
+        if st.handlers_installed:
+            return
+        st.handlers_installed = True
+        comm = self.comm
+
+        def _require_served(fname: str) -> FileNode:
+            if fname not in st.served_files:
+                raise Defer()
+            root = self.get_tree(comm, fname)
+            if root is None:
+                raise NotFoundError(f"no in-memory file {fname!r}")
+            return root
+
+        def metadata(source, fname):
+            root = _require_served(fname)
+            blob = _skeleton_bytes(root)
+            comm.charge_memcpy(len(blob))
+            return blob
+
+        def intersects(source, fname, path, qmin, qmax):
+            _require_served(fname)
+            qbb = Bounds(qmin, qmax)
+            entries = st.boxes.get((fname, path), [])
+            comm.compute(self.costs.per_box_test * max(1, len(entries)))
+            return sorted({
+                e.owner for e in entries if e.bounds.intersects(qbb)
+            })
+
+        def read(source, fname, path, selection):
+            root = _require_served(fname)
+            node = root.lookup(path)
+            out = []
+            nbytes = 0
+            comm.compute(self.costs.per_box_test * max(1, len(node.pieces)))
+            for piece in node.pieces:
+                overlap = piece.selection.intersect(selection)
+                if overlap.npoints == 0:
+                    continue
+                local = overlap.translate(
+                    piece.selection.bounds()[0],
+                    _box_shape(piece.selection),
+                )
+                if _is_dense(piece.selection):
+                    src = piece.data.reshape(_box_shape(piece.selection))
+                    values = local.extract(src)
+                else:
+                    values = _gather_sparse(piece, overlap, node.dtype.np)
+                out.append((overlap, values))
+                nbytes += int(values.nbytes)
+            # Contiguous-region serialization: bulk copies, not per point
+            # (paper Sec. IV-B(c): this is why LowFive beats the
+            # hand-written per-point MPI code at small scale).
+            comm.charge_memcpy(nbytes)
+            return out
+
+        st.server.register("metadata", metadata)
+        st.server.register("intersects", intersects)
+        st.server.register("read", read)
+
+    def _serve_file(self, fname: str, inters) -> None:
+        st = self._rank_state()
+        self._install_handlers(st)
+        st.served_files.add(fname)
+        for inter in inters:
+            st.server.attach(inter)
+        with self.profiler.phase(self._rank_key(self.comm), "serve",
+                                 self.comm):
+            st.server.serve()
+
+    # -- consumer side: query (Algorithm 3) -----------------------------------------
+
+    def _remote_open(self, fname: str, mode, fapl, comm, inter):
+        with self.profiler.phase(self._rank_key(comm), "metadata_open",
+                                 comm):
+            return self._remote_open_impl(fname, mode, fapl, comm, inter)
+
+    def _remote_open_impl(self, fname: str, mode, fapl, comm, inter):
+        client = RPCClient(inter)
+        me = 0 if comm is None else comm.rank
+        dest = me % client.remote_size
+        blob = client.call(dest, "metadata", fname)
+        root = h5format.decode_file(blob, fname)
+        self._charge_op(comm)
+        if comm is not None:
+            # Consumer-side share of the wait-for-close synchronization.
+            comm.compute(
+                self.costs.sync_factor * 0.5
+                * comm.model.epoch_jitter(comm.engine.nprocs)
+            )
+        if self._push_enabled(fname):
+            self._receive_pushes(fname, root, comm, inter)
+        fstate = LFFile(fname, comm, "r", root, None, remote_client=client)
+        return LFToken(fstate, root, None)
+
+    def _query_read(self, dtoken, selection):
+        """Algorithm 3 for one read call."""
+        comm = dtoken.fstate.comm
+        with self.profiler.phase(self._rank_key(comm), "query", comm):
+            return self._query_read_impl(dtoken, selection)
+
+    def _query_read_impl(self, dtoken, selection):
+        fstate = dtoken.fstate
+        client: RPCClient = fstate.remote_client
+        comm = fstate.comm
+        node = dtoken.node
+        path = node.path
+        nprod = client.remote_size
+        # Step 0: the implicitly agreed common decomposition.
+        dec = RegularDecomposer(node.space.shape, nprod)
+        qbb = Bounds.from_selection(selection)
+        gids = dec.blocks_intersecting(qbb)
+        if comm is not None:
+            comm.compute(self.costs.per_box_test * max(1, len(gids)))
+        # Step 1: ask block owners which producers hold intersecting data.
+        owners: set[int] = set()
+        for gid in gids:
+            owners.update(
+                client.call(gid, "intersects", fstate.fname, path,
+                            tuple(qbb.min), tuple(qbb.max))
+            )
+        # Step 2: request and receive the data, assemble locally.
+        if selection.npoints == 0:
+            return np.empty(0, dtype=node.dtype.np)
+        lo, hi = selection.bounds()
+        box_shape = tuple(int(h - l) for l, h in zip(lo, hi))
+        fill = 0 if node.fill_value is None else node.fill_value
+        box = np.full(box_shape, fill, dtype=node.dtype.np)
+        for p in sorted(owners):
+            pieces = client.call(p, "read", fstate.fname, path, selection)
+            for overlap, values in pieces:
+                overlap.translate(lo, box_shape).scatter(values, box)
+        self._charge_elements(comm, selection.npoints)
+        return selection.translate(lo, box_shape).extract(box)
+
+    # -- VOL overrides ---------------------------------------------------------------------
+
+    def file_open(self, fname, mode, fapl, comm):
+        if self.config.file_intercepted(fname):
+            root = self.get_tree(comm, fname)
+            if root is None:
+                inters = self._consumer_matches(fname)
+                if inters:
+                    # In situ consumer: open the producer's hierarchy
+                    # remotely; blocks until the producer serves.
+                    return self._remote_open(fname, mode, fapl, comm,
+                                             inters[0])
+        if self.config.file_passthru(fname) and not self.config.file_intercepted(fname):
+            # File mode: wait until the producer announces the physical
+            # file is complete, then read it from storage.
+            inters = self._consumer_matches(fname)
+            if inters:
+                self._wait_file_ready(fname, inters[0], comm)
+        return super().file_open(fname, mode, fapl, comm)
+
+    def file_close(self, ftoken):
+        fname = ftoken.fstate.fname
+        comm = ftoken.fstate.comm
+        is_remote = ftoken.fstate.remote_client is not None
+        super().file_close(ftoken)
+        if is_remote:
+            # Consumer side: release the producers (Algorithm 2's "done").
+            client: RPCClient = ftoken.fstate.remote_client
+            for dest in range(client.remote_size):
+                client.notify(dest, "__done__")
+            self.drop_file(comm, fname)
+            return
+        prod_inters = self._producer_inters_for_close(fname)
+        if not prod_inters:
+            return
+        if self.config.file_intercepted(fname):
+            self._index_file(fname)
+            if self._push_enabled(fname):
+                self._push_file(fname, prod_inters)
+        if self.config.file_passthru(fname):
+            # File-mode close epoch: the VOL replays its object metadata
+            # and readiness handshake against the MDS -- the overhead
+            # measured in paper Fig. 6 -- plus the synchronization skew
+            # of coordinating with the consumers.
+            lustre = getattr(self.under, "lustre", None)
+            if comm is not None:
+                if lustre is not None:
+                    comm.compute(lustre.open_time(comm.size)
+                                 + lustre.close_time(comm.size))
+                comm.compute(
+                    self.costs.sync_factor
+                    * comm.model.epoch_jitter(comm.engine.nprocs)
+                )
+            self._announce_file_ready(fname, prod_inters, comm)
+        if self.config.file_intercepted(fname):
+            self._serve_file(fname, prod_inters)
+
+    def _producer_inters_for_close(self, fname: str):
+        return self._producer_matches(fname)
+
+    def phase_stats(self, comm=None) -> PhaseStats:
+        """This rank's accumulated per-phase profile (paper Sec. V-C:
+        finer-grained communication profiling)."""
+        comm = comm if comm is not None else self.comm
+        return self.profiler.stats_for(self._rank_key(comm))
+
+    def dataset_read(self, dtoken, selection, dxpl):
+        if dtoken.fstate.remote_client is not None:
+            node = dtoken.node
+            if (self._push_enabled(dtoken.fstate.fname)
+                    and isinstance(node, DatasetNode)
+                    and self._covered(node, selection)):
+                # Pushed data covers the request: serve locally, no
+                # query round trips.
+                comm = dtoken.fstate.comm
+                values = node.read(selection)
+                self._charge_op(comm)
+                self._charge_elements(comm, selection.npoints)
+                return values
+            return self._query_read(dtoken, selection)
+        return super().dataset_read(dtoken, selection, dxpl)
+
+    # -- file mode readiness signalling -----------------------------------------------------
+
+    def _announce_file_ready(self, fname: str, inters, comm) -> None:
+        """Producer rank 0 tells every consumer rank the file is on disk."""
+        if comm is not None and comm.rank != 0:
+            return
+        for inter in inters:
+            client = RPCClient(inter)
+            client.notify_all("__file_ready__", fname)
+
+    def _wait_file_ready(self, fname: str, inter, comm) -> None:
+        st = self._rank_state()
+        if fname in st.ready_files:
+            return
+        from repro.lowfive.rpc import TAG_CTRL
+        from repro.simmpi import ANY_SOURCE
+
+        while fname not in st.ready_files:
+            payload, _ = inter.recv(source=ANY_SOURCE, tag=TAG_CTRL)
+            fn, args = payload
+            if fn == "__file_ready__":
+                st.ready_files.add(args[0])
+
+
+# -- helpers ---------------------------------------------------------------------
+
+
+def _box_shape(sel) -> tuple:
+    lo, hi = sel.bounds()
+    return tuple(int(h - l) for l, h in zip(lo, hi))
+
+
+def _is_dense(sel) -> bool:
+    if not sel.is_separable:
+        return False
+    lo, hi = sel.bounds()
+    return sel.npoints == int(np.prod(hi - lo))
+
+
+def _gather_sparse(piece, overlap, np_dtype):
+    want = {tuple(c): i for i, c in enumerate(overlap.coords())}
+    out = np.empty(overlap.npoints, dtype=np_dtype)
+    for j, c in enumerate(piece.selection.coords()):
+        i = want.get(tuple(c))
+        if i is not None:
+            out[i] = piece.data[j]
+    return out
+

@@ -1,0 +1,344 @@
+"""In-transit (staged) transport mode for LowFive.
+
+The paper distinguishes *direct messaging* (LowFive's choice: producers
+serve consumers themselves, no extra resources, but synchronization
+couples the tasks) from *data staging / in transit* (DataSpaces' choice:
+dedicated staging ranks decouple producer and consumer at the cost of
+extra resources). This module adds the staging option to LowFive itself
+while keeping the full hierarchical data model:
+
+- **producer** (:class:`StagedMetadataVOL` with :meth:`stage_on_close`):
+  at file close, each rank pushes its metadata skeleton and its data
+  pieces -- split along the *staging decomposition* (a regular grid over
+  the staging rank count) -- to the staging task, then returns
+  immediately. No serve loop: the producer is decoupled.
+- **staging task** (:func:`staging_main`): holds the staged trees and
+  answers consumer queries; a file becomes visible once every producer
+  rank announced completion (queries arriving earlier are deferred).
+- **consumer** (:meth:`set_staged_consumer`): opens files against the
+  staging task and reads with single-hop queries -- the staging
+  placement is deterministic, so no redirect step is needed.
+
+The trade-off is measured in ``tests/lowfive/test_staged.py`` and the
+staging ablation benchmark: with a late consumer, the direct producer is
+stuck serving while the staged producer finished long ago.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+
+import numpy as np
+
+from repro.diy import Bounds, RegularDecomposer
+from repro.h5 import format as h5format
+from repro.h5.errors import NotFoundError
+from repro.h5.objects import DatasetNode, OWN_SHALLOW
+from repro.lowfive.rpc import Defer, RPCClient, RPCServer
+from repro.lowfive.vol_dist import (
+    DistMetadataVOL,
+    _box_shape,
+    _gather_sparse,
+    _is_dense,
+    _skeleton_bytes,
+)
+from repro.lowfive.vol_metadata import LFFile, LFToken
+
+
+class StagedMetadataVOL(DistMetadataVOL):
+    """LowFive with an in-transit option.
+
+    Files matched by :meth:`stage_on_close` (producer side) or
+    :meth:`set_staged_consumer` (consumer side) go through the staging
+    task; everything else behaves exactly like
+    :class:`~repro.lowfive.vol_dist.DistMetadataVOL`.
+    """
+
+    name = "lowfive-staged"
+
+    #: Tag for staged data bundles (producer -> staging).
+    TAG_STAGE = 707
+
+    def __init__(self, comm, under=None, config=None, costs=None):
+        super().__init__(comm, under, config, costs)
+        self._stage_inters: list[tuple[str, object]] = []
+        self._staged_consumer_inters: list[tuple[str, object]] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def stage_on_close(self, file_pattern: str, inter) -> None:
+        """Producer role: at close, push matching files to the staging
+        task on ``inter`` and return without serving."""
+        self._stage_inters.append((file_pattern, inter))
+
+    def set_staged_consumer(self, file_pattern: str, inter) -> None:
+        """Consumer role: open matching files against the staging task."""
+        self._staged_consumer_inters.append((file_pattern, inter))
+
+    def _stage_matches(self, fname: str):
+        return [i for pat, i in self._stage_inters
+                if fnmatchcase(fname, pat)]
+
+    def _staged_consumer_matches(self, fname: str):
+        return [i for pat, i in self._staged_consumer_inters
+                if fnmatchcase(fname, pat)]
+
+    # -- producer side ---------------------------------------------------------
+
+    def _stage_file(self, fname: str, inter) -> None:
+        """Split this rank's pieces along the staging decomposition and
+        push them (plus the skeleton, from rank 0) to the stagers."""
+        comm = self.comm
+        root = self.get_tree(comm, fname)
+        if root is None:
+            return
+        with self.profiler.phase(self._rank_key(comm), "stage", comm):
+            nstage = inter.remote_size
+            if comm is None or comm.rank == 0:
+                blob = _skeleton_bytes(root)
+                for srank in range(nstage):
+                    inter.send(("skeleton", fname, blob), srank,
+                               self.TAG_STAGE)
+            bundles: list[list] = [[] for _ in range(nstage)]
+            nbytes = 0
+            for node in root.walk():
+                if not isinstance(node, DatasetNode):
+                    continue
+                dec = RegularDecomposer(node.space.shape, nstage)
+                for piece in node.pieces:
+                    bb = Bounds.from_selection(piece.selection)
+                    for gid in dec.blocks_intersecting(bb):
+                        blk = dec.block_bounds(gid).to_selection(
+                            node.space.shape
+                        )
+                        overlap = piece.selection.intersect(blk)
+                        if overlap.npoints == 0:
+                            continue
+                        local = overlap.translate(
+                            piece.selection.bounds()[0],
+                            _box_shape(piece.selection),
+                        )
+                        if _is_dense(piece.selection):
+                            src = piece.data.reshape(
+                                _box_shape(piece.selection)
+                            )
+                            values = local.extract(src)
+                        else:
+                            values = _gather_sparse(piece, overlap,
+                                                    node.dtype.np)
+                        bundles[gid].append((node.path, overlap, values))
+                        nbytes += int(values.nbytes)
+            comm.charge_memcpy(nbytes)
+            for srank in range(nstage):
+                inter.send(("pieces", fname, bundles[srank]), srank,
+                           self.TAG_STAGE)
+            # Visibility marker: this rank's contribution is complete.
+            RPCClient(inter).notify_all("__staged__", fname)
+
+    # -- consumer side -----------------------------------------------------------
+
+    def _staged_open(self, fname, mode, fapl, comm, inter):
+        client = RPCClient(inter)
+        me = 0 if comm is None else comm.rank
+        blob = client.call(me % client.remote_size, "metadata", fname)
+        root = h5format.decode_file(blob, fname)
+        self._charge_op(comm)
+        fstate = LFFile(fname, comm, "r", root, None, remote_client=client)
+        fstate.staged = True
+        return LFToken(fstate, root, None)
+
+    def _staged_read(self, dtoken, selection):
+        """Single-hop query against the staging decomposition."""
+        fstate = dtoken.fstate
+        client: RPCClient = fstate.remote_client
+        comm = fstate.comm
+        node = dtoken.node
+        with self.profiler.phase(self._rank_key(comm), "staged_query",
+                                 comm):
+            nstage = client.remote_size
+            dec = RegularDecomposer(node.space.shape, nstage)
+            qbb = Bounds.from_selection(selection)
+            if selection.npoints == 0:
+                return np.empty(0, dtype=node.dtype.np)
+            lo, hi = selection.bounds()
+            box_shape = tuple(int(h - l) for l, h in zip(lo, hi))
+            fill = 0 if node.fill_value is None else node.fill_value
+            box = np.full(box_shape, fill, dtype=node.dtype.np)
+            for gid in dec.blocks_intersecting(qbb):
+                pieces = client.call(gid, "read", fstate.fname,
+                                     node.path, selection)
+                for overlap, values in pieces:
+                    overlap.translate(lo, box_shape).scatter(values, box)
+            self._charge_elements(comm, selection.npoints)
+            return selection.translate(lo, box_shape).extract(box)
+
+    # -- VOL overrides -----------------------------------------------------------------
+
+    def file_open(self, fname, mode, fapl, comm):
+        if self.config.file_intercepted(fname) \
+                and self.get_tree(comm, fname) is None:
+            inters = self._staged_consumer_matches(fname)
+            if inters:
+                return self._staged_open(fname, mode, fapl, comm,
+                                         inters[0])
+        return super().file_open(fname, mode, fapl, comm)
+
+    def file_close(self, ftoken):
+        fname = ftoken.fstate.fname
+        comm = ftoken.fstate.comm
+        if getattr(ftoken.fstate, "staged", False):
+            # Staged consumer: the stagers keep serving until finalize,
+            # so closing only drops the local skeleton.
+            from repro.lowfive.vol_metadata import MetadataVOL
+
+            MetadataVOL.file_close(self, ftoken)
+            self.drop_file(comm, fname)
+            return
+        stage_inters = self._stage_matches(fname)
+        if stage_inters and self.config.file_intercepted(fname):
+            from repro.lowfive.vol_metadata import MetadataVOL
+
+            MetadataVOL.file_close(self, ftoken)
+            for inter in stage_inters:
+                self._stage_file(fname, inter)
+            return  # decoupled: no serve loop
+        super().file_close(ftoken)
+
+    def dataset_read(self, dtoken, selection, dxpl):
+        if getattr(dtoken.fstate, "staged", False):
+            return self._staged_read(dtoken, selection)
+        return super().dataset_read(dtoken, selection, dxpl)
+
+    @staticmethod
+    def finalize_staging(inter, comm=None) -> None:
+        """Release the staging ranks (each client rank, per task)."""
+        RPCClient(inter).notify_all("__done__")
+
+
+def staging_main(inters, costs=None) -> dict:
+    """Run one staging rank until every client rank has sent done.
+
+    ``inters`` are the staging-side views of the producer and consumer
+    intercommunicators. Returns ``{file: pieces held}`` counts (useful
+    for tests/monitoring).
+    """
+    from repro.lowfive.config import CostConfig
+
+    costs = costs or CostConfig()
+    server = RPCServer()
+    skeletons: dict[str, bytes] = {}
+    trees: dict[str, object] = {}
+    # fname -> set of producer ranks that completed staging.
+    complete: dict[str, set] = {}
+    producer_inter = inters[0]
+
+    def _tree(fname):
+        root = trees.get(fname)
+        if root is None:
+            if fname not in skeletons:
+                raise Defer()
+            root = h5format.decode_file(skeletons[fname], fname)
+            trees[fname] = root
+        return root
+
+    def _require_visible(fname):
+        done = complete.get(fname, set())
+        if len(done) < producer_inter.remote_size:
+            raise Defer()
+
+    def metadata(source, fname):
+        _require_visible(fname)
+        if fname not in skeletons:
+            raise NotFoundError(f"not staged: {fname!r}")
+        return skeletons[fname]
+
+    def read(source, fname, path, selection):
+        _require_visible(fname)
+        root = _tree(fname)
+        node = root.lookup(path)
+        out = []
+        nbytes = 0
+        for piece in node.pieces:
+            overlap = piece.selection.intersect(selection)
+            if overlap.npoints == 0:
+                continue
+            local = overlap.translate(
+                piece.selection.bounds()[0], _box_shape(piece.selection)
+            )
+            if _is_dense(piece.selection):
+                src = piece.data.reshape(_box_shape(piece.selection))
+                values = local.extract(src)
+            else:
+                values = _gather_sparse(piece, overlap, node.dtype.np)
+            out.append((overlap, values))
+            nbytes += int(values.nbytes)
+        inters[0].charge_memcpy(nbytes)
+        return out
+
+    def staged(source, fname):
+        complete.setdefault(fname, set()).add(source)
+
+    server.register("metadata", metadata)
+    server.register("read", read)
+    server.on_notify("__staged__", staged)
+    for inter in inters:
+        server.attach(inter)
+
+    # Staged data bundles arrive on their own tag; fold them into the
+    # serve loop by polling both lanes. Pieces can outrace the skeleton
+    # (different producer ranks), so they wait in ``pending_pieces``.
+    import time
+
+    pending_pieces: list[tuple[str, list]] = []
+
+    def _apply(fname, payload):
+        root = _tree(fname)
+        for path, overlap, values in payload:
+            root.lookup(path).write(overlap, values, OWN_SHALLOW)
+
+    def drain_stage():
+        progressed = False
+        for inter in inters:
+            got = inter._try_recv(tag=StagedMetadataVOL.TAG_STAGE)
+            while got is not None:
+                progressed = True
+                (kind, fname, payload), _status = got
+                if kind == "skeleton":
+                    skeletons[fname] = payload
+                    trees.pop(fname, None)
+                elif fname in skeletons:
+                    _apply(fname, payload)
+                else:
+                    pending_pieces.append((fname, payload))
+                got = inter._try_recv(tag=StagedMetadataVOL.TAG_STAGE)
+        if pending_pieces:
+            still = []
+            for fname, payload in pending_pieces:
+                if fname in skeletons:
+                    _apply(fname, payload)
+                    progressed = True
+                else:
+                    still.append((fname, payload))
+            pending_pieces[:] = still
+        return progressed
+
+    idle = 0.0
+    while not server._all_done():
+        inters[0].engine.check_failed()
+        progressed = drain_stage()
+        if server.poll_once():
+            progressed = True
+            if server._pending:
+                replay, server._pending = server._pending, []
+                for inter, payload, source in replay:
+                    server._handle_request(inter, payload, source)
+        if progressed:
+            idle = 0.0
+        else:
+            time.sleep(0.0005)
+            idle += 0.0005
+            if idle > 60.0:
+                raise RuntimeError("staging rank idle too long")
+    return {fname: sum(len(n.pieces) for n in _tree(fname).walk()
+                       if isinstance(n, DatasetNode))
+            for fname in skeletons}

@@ -1,0 +1,37 @@
+"""Analytic large-scale performance model.
+
+Executed simmpi runs use one OS thread per rank, which caps them at a
+few hundred ranks. The paper's figures go to 16,384 ranks, so each
+transport's completion time is also computed *analytically* here, from
+the same decomposition geometry (:mod:`repro.diy`) and the same cost
+constants (:class:`~repro.simmpi.NetworkModel`,
+:class:`~repro.lowfive.CostConfig`, :class:`~repro.pfs.LustreModel`,
+baseline cost dataclasses) that the executed runs charge. Tests verify
+the two agree at overlapping scales.
+"""
+
+from repro.perfmodel.transports import (
+    Machine,
+    THETA_KNL,
+    CORI_HASWELL,
+    lowfive_memory_time,
+    lowfive_file_time,
+    pure_hdf5_time,
+    pure_mpi_time,
+    dataspaces_time,
+    bredala_times,
+)
+from repro.perfmodel.nyx_reeber import nyx_reeber_times
+
+__all__ = [
+    "Machine",
+    "THETA_KNL",
+    "CORI_HASWELL",
+    "lowfive_memory_time",
+    "lowfive_file_time",
+    "pure_hdf5_time",
+    "pure_mpi_time",
+    "dataspaces_time",
+    "bredala_times",
+    "nyx_reeber_times",
+]

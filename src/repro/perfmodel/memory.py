@@ -1,0 +1,112 @@
+"""Memory-footprint model: how many copies of the data live where.
+
+Paper Sec. IV-C: with the AMReX writer's repacking, "up to three copies
+of the same data (one native, one repacked, and one in LowFive) can
+exist in memory simultaneously" -- and zero-copy exists precisely to
+avoid the third. This module makes those trade-offs quantitative per
+producer rank, for LowFive configurations and for the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Per-producer-rank memory demand of one transport configuration."""
+
+    copies: float          # simultaneous full copies of the local data
+    bytes: int             # copies * bytes_per_rank
+    breakdown: tuple       # (label, copies) pairs
+
+    def __str__(self):
+        parts = ", ".join(f"{label} x{c:g}" for label, c in self.breakdown)
+        return f"{self.copies:g} copies ({parts})"
+
+
+def _mk(bytes_per_rank: int, parts: list[tuple[str, float]]) -> Footprint:
+    copies = sum(c for _, c in parts)
+    return Footprint(copies, int(copies * bytes_per_rank), tuple(parts))
+
+
+def lowfive_footprint(bytes_per_rank: int, zero_copy: bool = False,
+                      repack: bool = False,
+                      file_mode: bool = False) -> Footprint:
+    """LowFive producer-side footprint.
+
+    - the application's native buffer is always resident;
+    - ``repack`` adds the writer's packing buffer (the Nyx/AMReX case);
+    - deep-copy mode adds LowFive's own copy; ``zero_copy`` removes it
+      (but is incompatible with ``repack``, which invalidates the
+      reference -- the paper had to disable it);
+    - file mode adds no extra producer copy (data streams to the PFS).
+    """
+    if zero_copy and repack:
+        raise ValueError(
+            "zero-copy requires the user buffer to stay valid; a "
+            "repacking writer breaks that (paper Sec. IV-C)"
+        )
+    parts = [("native", 1.0)]
+    if repack:
+        parts.append(("repacked", 1.0))
+    if not file_mode:
+        if zero_copy:
+            parts.append(("lowfive (reference)", 0.0))
+        else:
+            parts.append(("lowfive (deep copy)", 1.0))
+    return _mk(bytes_per_rank, parts)
+
+
+def pure_mpi_footprint(bytes_per_rank: int) -> Footprint:
+    """Hand-written exchange: native buffer + staging send buffers."""
+    return _mk(bytes_per_rank, [("native", 1.0), ("send staging", 1.0)])
+
+
+def dataspaces_footprint(bytes_per_rank: int,
+                         put_local: bool = True) -> Footprint:
+    """DataSpaces producer footprint.
+
+    ``put_local`` (the paper's configuration) registers the user's own
+    buffer and ships only metadata; a plain ``put`` stages a full copy
+    onto the servers.
+    """
+    parts = [("native", 1.0)]
+    if put_local:
+        parts.append(("registered (in place)", 0.0))
+    else:
+        parts.append(("staged on servers", 1.0))
+    return _mk(bytes_per_rank, parts)
+
+
+def bredala_footprint(bytes_per_rank: int, ndim: int = 3) -> Footprint:
+    """Bredala bounding-box redistribution footprint.
+
+    The container serializes items into per-destination buffers and
+    ships coordinates alongside the data (8 bytes per dimension per
+    8-byte item in our grid workload), so the send staging is larger
+    than the data itself.
+    """
+    coord_overhead = ndim  # 8-byte coordinate per dim vs 8-byte value
+    return _mk(bytes_per_rank, [
+        ("native", 1.0),
+        ("container staging (data+coords)", 1.0 + coord_overhead),
+    ])
+
+
+def footprint_table(bytes_per_rank: int) -> list[tuple[str, Footprint]]:
+    """All configurations side by side (for the ablation bench)."""
+    return [
+        ("LowFive zero-copy", lowfive_footprint(bytes_per_rank,
+                                                zero_copy=True)),
+        ("LowFive deep copy", lowfive_footprint(bytes_per_rank)),
+        ("LowFive + repacking writer (Nyx)",
+         lowfive_footprint(bytes_per_rank, repack=True)),
+        ("LowFive file mode", lowfive_footprint(bytes_per_rank,
+                                                file_mode=True)),
+        ("Pure MPI", pure_mpi_footprint(bytes_per_rank)),
+        ("DataSpaces put_local", dataspaces_footprint(bytes_per_rank)),
+        ("DataSpaces put (staged)",
+         dataspaces_footprint(bytes_per_rank, put_local=False)),
+        ("Bredala (bbox policy)", bredala_footprint(bytes_per_rank)),
+    ]

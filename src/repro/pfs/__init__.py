@@ -1,0 +1,18 @@
+"""Simulated parallel file system (Lustre-like).
+
+Two halves:
+
+- :mod:`repro.pfs.store` really stores bytes (shared across all simulated
+  ranks, like a globally visible file system), so files written by one
+  task can be read back and validated by another;
+- :mod:`repro.pfs.lustre` charges virtual time for I/O using a Lustre-like
+  cost model (OST striping, MDS metadata serialization, lock contention),
+  calibrated so that file-based transport is orders of magnitude slower
+  than in situ messaging, as measured in the paper (Figs. 5-6).
+"""
+
+from repro.pfs.store import PFSStore, FileHandle
+from repro.pfs.lustre import LustreModel
+from repro.pfs.mpiio import TwoPhaseModel
+
+__all__ = ["PFSStore", "FileHandle", "LustreModel", "TwoPhaseModel"]

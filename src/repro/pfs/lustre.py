@@ -1,0 +1,118 @@
+"""Lustre-like parallel file system cost model.
+
+Charges virtual time for opens, metadata operations and bulk transfers.
+The constants are calibrated (see ``DESIGN.md`` and ``EXPERIMENTS.md``)
+so that collective HDF5-style file I/O on the simulated machine is
+orders of magnitude slower than in situ messaging, with metadata/lock
+contention that grows with the process count -- the regime measured on
+Theta's Lustre scratch in the paper (Figs. 5-6, Table II).
+
+The dominant effects modeled:
+
+- **MDS serialization**: collective file opens/creates funnel through one
+  metadata server, so cost grows with the number of processes.
+- **OST striping**: aggregate bandwidth is capped by
+  ``stripe_count * ost_bandwidth`` ("medium striping" per NERSC's
+  recommendation, which the paper used).
+- **Extent-lock contention**: many writers to one shared file degrade
+  effective bandwidth roughly linearly in ``nprocs / stripe_count``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LustreModel:
+    """Cost model for a Lustre-like shared parallel file system.
+
+    Parameters
+    ----------
+    ost_bandwidth:
+        Per-OST (object storage target) streaming bandwidth, bytes/s.
+    stripe_count:
+        Number of OSTs a shared file is striped over.
+    open_base:
+        Fixed cost of a collective open/create of a shared file. Large on
+        real systems for a full-machine collective against one MDS.
+    mds_op:
+        Serialized per-process metadata cost added to collective
+        open/close (MDS round trip per rank).
+    md_small_op:
+        Cost of one small metadata operation (create group/dataset,
+        attribute write) once the file is open.
+    lock_factor:
+        Strength of extent-lock contention: effective bandwidth is
+        divided by ``1 + lock_factor * max(0, nprocs/stripe_count - 1)``.
+    independent_penalty:
+        Multiplier on transfer time for non-collective (independent) I/O.
+    """
+
+    ost_bandwidth: float = 500e6
+    stripe_count: int = 8
+    open_base: float = 1.0
+    mds_op: float = 2.0e-4
+    md_small_op: float = 2.0e-3
+    lock_factor: float = 0.4
+    independent_penalty: float = 3.0
+
+    # -- metadata ------------------------------------------------------------
+
+    def open_time(self, nprocs: int) -> float:
+        """Collective open/create of a shared file by ``nprocs`` ranks."""
+        return self.open_base + self.mds_op * nprocs
+
+    def close_time(self, nprocs: int) -> float:
+        """Collective close (flush + MDS update)."""
+        return 0.25 * self.open_time(nprocs)
+
+    def metadata_op_time(self, nops: int = 1) -> float:
+        """Small metadata operations (object creates, attribute writes)."""
+        return self.md_small_op * nops
+
+    # -- bulk data ---------------------------------------------------------------
+
+    def aggregate_bandwidth(self, nprocs: int) -> float:
+        """Effective aggregate bandwidth of ``nprocs`` writers/readers
+        sharing one striped file."""
+        peak = self.stripe_count * self.ost_bandwidth
+        contention = 1.0 + self.lock_factor * max(
+            0.0, nprocs / self.stripe_count - 1.0
+        )
+        return peak / contention
+
+    def write_time(self, total_bytes: int, nprocs: int,
+                   collective: bool = True) -> float:
+        """Time for ``nprocs`` ranks to write ``total_bytes`` to one file.
+
+        For collective I/O ``total_bytes`` is the global amount (the cost
+        is charged identically on every participant); for independent
+        I/O it is the caller's local amount, and the caller only gets a
+        ``1/nprocs`` share of the aggregate bandwidth, degraded further
+        by the non-contiguous-access penalty.
+        """
+        if collective:
+            t = total_bytes / self.aggregate_bandwidth(nprocs)
+        else:
+            share = self.aggregate_bandwidth(nprocs) / max(1, nprocs)
+            t = self.independent_penalty * total_bytes / share
+        # Two-phase aggregation adds a latency term per participant tree.
+        t += 1e-4 * math.log2(max(2, nprocs))
+        return t
+
+    def read_time(self, total_bytes: int, nprocs: int,
+                  collective: bool = True) -> float:
+        """Time for ``nprocs`` ranks to read ``total_bytes`` from one file.
+
+        Reads dodge extent-lock contention (no dirty extents), so they
+        see closer-to-peak bandwidth; real Nyx/Reeber measurements show
+        reads far cheaper than writes (paper Table II).
+        """
+        peak = self.stripe_count * self.ost_bandwidth
+        t = total_bytes / peak
+        if not collective:
+            t *= self.independent_penalty
+        t += 1e-4 * math.log2(max(2, nprocs))
+        return t

@@ -1,0 +1,92 @@
+"""Explicit two-phase collective I/O model (ROMIO-style).
+
+:class:`~repro.pfs.lustre.LustreModel` folds collective-buffering costs
+into a single bandwidth term, which is what the calibrated benchmarks
+use. This module exposes the *mechanism* separately for analysis: the
+shuffle phase (every rank redistributes its pieces to stripe-aligned
+aggregators over the interconnect) followed by the write phase (one
+aggregator per stripe streams to its OST). Useful for studying where
+collective I/O time goes and when collective buffering stops paying
+off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.pfs.lustre import LustreModel
+from repro.simmpi.netmodel import NetworkModel
+
+
+@dataclass(frozen=True)
+class TwoPhaseModel:
+    """Two-phase collective I/O: shuffle to aggregators, then write.
+
+    Attributes
+    ----------
+    net:
+        Interconnect model for the shuffle phase.
+    lustre:
+        File-system model; the write phase streams from
+        ``min(nprocs, stripe_count)`` aggregators at OST bandwidth with
+        no extent-lock contention (each aggregator owns its stripes --
+        the point of collective buffering).
+    cb_buffer:
+        Collective buffer size per aggregator; total bytes move in
+        rounds of ``naggregators * cb_buffer``.
+    """
+
+    net: NetworkModel
+    lustre: LustreModel
+    cb_buffer: int = 16 * 2**20
+
+    def naggregators(self, nprocs: int) -> int:
+        """One aggregator per stripe, capped by the job size."""
+        return max(1, min(nprocs, self.lustre.stripe_count))
+
+    def shuffle_time(self, total_bytes: int, nprocs: int) -> float:
+        """Phase 1: redistribute pieces to aggregators (alltoall-ish)."""
+        nagg = self.naggregators(nprocs)
+        per_agg = total_bytes / nagg
+        # Each aggregator ingests its share; latency per incoming peer.
+        return (per_agg / (self.net.bandwidth
+                           / self.net.contention_factor(nprocs))
+                + nprocs / nagg * (self.net.latency
+                                   + 2 * self.net.msg_overhead))
+
+    def write_time(self, total_bytes: int, nprocs: int) -> float:
+        """Phase 2: aggregators stream stripe-aligned data to OSTs."""
+        nagg = self.naggregators(nprocs)
+        per_agg = total_bytes / nagg
+        nrounds = max(1, math.ceil(per_agg / self.cb_buffer))
+        stream = per_agg / self.lustre.ost_bandwidth
+        return stream + nrounds * self.lustre.md_small_op
+
+    def collective_write_time(self, total_bytes: int, nprocs: int) -> float:
+        """End-to-end two-phase time (rounds pipeline shuffle/write, so
+        the slower phase dominates with one extra round of the other)."""
+        ts = self.shuffle_time(total_bytes, nprocs)
+        tw = self.write_time(total_bytes, nprocs)
+        nagg = self.naggregators(nprocs)
+        per_round = nagg * self.cb_buffer
+        nrounds = max(1, math.ceil(total_bytes / per_round))
+        slow, fast = max(ts, tw), min(ts, tw)
+        return slow + fast / nrounds
+
+    def independent_write_time(self, total_bytes: int, nprocs: int) -> float:
+        """The non-collective comparison: every rank writes its own
+        non-contiguous pieces, paying full extent-lock contention."""
+        return self.lustre.write_time(
+            total_bytes // max(1, nprocs), nprocs, collective=False
+        )
+
+    def breakeven_procs(self, total_bytes: int, max_procs: int = 1 << 15) -> int:
+        """Smallest job size where collective beats independent I/O."""
+        p = 1
+        while p <= max_procs:
+            if self.collective_write_time(total_bytes, p) < \
+                    self.independent_write_time(total_bytes, p):
+                return p
+            p *= 2
+        return max_procs

@@ -1,0 +1,573 @@
+"""Communicators: point-to-point, collectives, split, intercommunicators."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.simmpi.errors import CommMismatchError
+from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, Status
+from repro.simmpi.netmodel import payload_nbytes
+from repro.simmpi.request import Request
+from repro.simmpi import engine as _engine
+
+
+class _CollectiveCtx:
+    """Rendezvous for one communicator's collectives. Internal.
+
+    Generation-based: ranks enter with a contribution; the last arriver
+    runs the reducer once and publishes the result plus the post-
+    collective clock; ranks drain before the next generation may begin.
+    """
+
+    def __init__(self, size: int):
+        self.size = size
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.generation = 0
+        self.complete = -1
+        self.draining = False
+        self.entries: dict[int, object] = {}
+        self.max_clock = float("-inf")
+        self.result = None
+        self.final_clock = 0.0
+        self.nleft = 0
+
+
+class Comm:
+    """An intra-communicator over a subset of world ranks.
+
+    A single ``Comm`` object is safely shared by all of its member
+    threads; rank identity comes from thread-local state. All operations
+    advance the calling rank's virtual clock per the engine's
+    :class:`~repro.simmpi.netmodel.NetworkModel`.
+    """
+
+    is_inter = False
+
+    def __init__(self, engine, members: list[int], comm_id: int | None = None):
+        self.engine = engine
+        self.members = list(members)
+        self._world_to_local = {w: i for i, w in enumerate(self.members)}
+        self.comm_id = engine.next_comm_id() if comm_id is None else comm_id
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """Local rank of the calling thread within this communicator."""
+        w = _engine.current_world_rank()
+        try:
+            return self._world_to_local[w]
+        except KeyError:
+            raise CommMismatchError(
+                f"world rank {w} is not a member of this communicator"
+            ) from None
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in this communicator."""
+        return len(self.members)
+
+    @property
+    def model(self):
+        """The engine's network cost model."""
+        return self.engine.model
+
+    def world_rank(self, local_rank: int) -> int:
+        """World rank of ``local_rank`` in this comm."""
+        return self.members[local_rank]
+
+    def _src_world(self, src_local: int) -> int:
+        """World rank of a message sender (its rank in its group)."""
+        return self.members[src_local]
+
+    def _proc(self):
+        return self.engine.current_proc()
+
+    def _dest_world(self, dest: int) -> int:
+        try:
+            return self.members[dest]
+        except IndexError:
+            raise CommMismatchError(
+                f"dest {dest} out of range for size {self.size}"
+            ) from None
+
+    # -- local virtual work -------------------------------------------------
+
+    def compute(self, seconds: float) -> None:
+        """Advance this rank's virtual clock by ``seconds`` of local work."""
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        self._proc().clock += seconds
+
+    def charge_memcpy(self, nbytes: int) -> None:
+        """Charge a bulk contiguous copy of ``nbytes`` to the clock."""
+        self._proc().clock += self.model.memcpy_time(nbytes)
+
+    def charge_pack_elements(self, nelements: int) -> None:
+        """Charge per-element (point-at-a-time) serialization work."""
+        self._proc().clock += self.model.pack_elements_time(nelements)
+
+    @property
+    def vtime(self) -> float:
+        """Current virtual clock of the calling rank."""
+        return self._proc().clock
+
+    # -- point to point ------------------------------------------------------
+
+    def send(self, payload, dest: int, tag: int = 0, nbytes: int | None = None):
+        """Buffered send: completes locally once posted.
+
+        ``nbytes`` overrides the payload size used by the cost model
+        (modeled runs pass :class:`VirtualPayload` or an explicit size).
+        """
+        proc = self._proc()
+        self.engine.check_failed()
+        nb = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        model = self.model
+        proc.clock += model.msg_overhead
+        arrival = proc.clock + model.transfer_time(nb, self.engine.nprocs)
+        dst_world = self._dest_world(dest)
+        self.engine.deliver(
+            Message(
+                comm_id=self.comm_id,
+                src=self.rank,
+                dst_world=dst_world,
+                tag=tag,
+                payload=payload,
+                nbytes=nb,
+                arrival=arrival,
+            )
+        )
+        if self.engine.trace:
+            self.engine.record(proc.clock, "send", proc.rank, dst_world,
+                               tag, nb)
+
+    def isend(self, payload, dest: int, tag: int = 0,
+              nbytes: int | None = None) -> Request:
+        """Nonblocking send (buffered, hence complete at once)."""
+        self.send(payload, dest, tag, nbytes=nbytes)
+        return Request(self, "send")
+
+    def _pop_match(self, proc, source: int, tag: int):
+        """Pop the best matching message while holding ``proc.lock``."""
+        box = proc.mailbox.get(self.comm_id)
+        if not box:
+            return None
+        best_i = -1
+        for i, m in enumerate(box):
+            if not m.matches(source, tag):
+                continue
+            if best_i < 0:
+                best_i = i
+            else:
+                b = box[best_i]
+                if (m.arrival, m.src, m.seq) < (b.arrival, b.src, b.seq):
+                    best_i = i
+        if best_i < 0:
+            return None
+        return box.pop(best_i)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; returns ``(payload, Status)``."""
+        proc = self._proc()
+        with proc.cond:
+            msg_holder = []
+
+            def ready():
+                m = self._pop_match(proc, source, tag)
+                if m is not None:
+                    msg_holder.append(m)
+                    return True
+                return False
+
+            self.engine.wait_on(
+                proc.cond, ready,
+                f"message (comm {self.comm_id}, source {source}, tag {tag})",
+            )
+            msg = msg_holder[0]
+        proc.clock = max(proc.clock, msg.arrival) + self.model.msg_overhead
+        if self.engine.trace:
+            self.engine.record(proc.clock, "recv", proc.rank,
+                               self._src_world(msg.src), msg.tag,
+                               msg.nbytes)
+        return msg.payload, Status(msg.src, msg.tag, msg.nbytes)
+
+    def _try_recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Nonblocking receive; ``(payload, Status)`` or ``None``."""
+        proc = self._proc()
+        with proc.cond:
+            msg = self._pop_match(proc, source, tag)
+        if msg is None:
+            return None
+        proc.clock = max(proc.clock, msg.arrival) + self.model.msg_overhead
+        if self.engine.trace:
+            self.engine.record(proc.clock, "recv", proc.rank,
+                               self._src_world(msg.src), msg.tag,
+                               msg.nbytes)
+        return msg.payload, Status(msg.src, msg.tag, msg.nbytes)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive returning a :class:`Request`."""
+        return Request(self, "recv", source, tag)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              block: bool = True):
+        """Check for a matching message without consuming it.
+
+        Returns a :class:`Status`, or ``None`` when ``block=False`` and
+        nothing matches.
+        """
+        proc = self._proc()
+        with proc.cond:
+            def find():
+                box = proc.mailbox.get(self.comm_id)
+                if not box:
+                    return None
+                cands = [m for m in box if m.matches(source, tag)]
+                if not cands:
+                    return None
+                return min(cands, key=lambda m: (m.arrival, m.src, m.seq))
+
+            if block:
+                holder = []
+
+                def ready():
+                    m = find()
+                    if m is not None:
+                        holder.append(m)
+                        return True
+                    return False
+
+                self.engine.wait_on(proc.cond, ready, "probe")
+                m = holder[0]
+            else:
+                m = find()
+                if m is None:
+                    return None
+        return Status(m.src, m.tag, m.nbytes)
+
+    # -- collectives -----------------------------------------------------------
+
+    def _participants(self) -> int:
+        return self.size
+
+    def _my_coll_key(self) -> int:
+        return self.rank
+
+    _COST_ALIAS = {
+        "allgather_split": "allgather",
+        "dup": "barrier",
+        "scan": "allreduce",
+        "exscan": "allreduce",
+        "reduce_scatter": "allreduce",
+    }
+
+    def _collective(self, kind: str, contribution, reducer, nbytes: int = 0):
+        ctx = self.engine.coll_ctx(self.comm_id, self._participants())
+        proc = self._proc()
+        me = self._my_coll_key()
+        cost_kind = self._COST_ALIAS.get(kind, kind)
+        with ctx.cond:
+            self.engine.wait_on(
+                ctx.cond, lambda: not ctx.draining, f"{kind} (drain)"
+            )
+            gen = ctx.generation
+            ctx.entries[me] = contribution
+            ctx.max_clock = max(ctx.max_clock, proc.clock)
+            if len(ctx.entries) == ctx.size:
+                ctx.result = reducer(dict(ctx.entries))
+                ctx.final_clock = ctx.max_clock + self.model.collective_time(
+                    cost_kind, ctx.size, nbytes
+                )
+                ctx.complete = gen
+                ctx.draining = True
+                ctx.cond.notify_all()
+            else:
+                self.engine.wait_on(
+                    ctx.cond, lambda: ctx.complete >= gen, f"{kind} (gen {gen})"
+                )
+            result = ctx.result
+            final = ctx.final_clock
+            ctx.nleft += 1
+            if ctx.nleft == ctx.size:
+                ctx.entries = {}
+                ctx.nleft = 0
+                ctx.draining = False
+                ctx.generation += 1
+                ctx.max_clock = float("-inf")
+                ctx.cond.notify_all()
+        proc.clock = final
+        if self.engine.trace:
+            self.engine.record(proc.clock, "coll", proc.rank, -1, 0,
+                               nbytes, label=kind)
+        return result
+
+    def barrier(self) -> None:
+        """Synchronize all ranks; clocks advance to a common time."""
+        self._collective("barrier", None, lambda e: None)
+
+    def bcast(self, payload=None, root: int = 0):
+        """Broadcast ``payload`` from ``root``; every rank returns it."""
+        nb = payload_nbytes(payload) if self.rank == root else 0
+        return self._collective(
+            "bcast", payload if self.rank == root else None,
+            lambda e: e[root], nbytes=nb,
+        )
+
+    def gather(self, payload, root: int = 0):
+        """Gather; ``root`` returns the rank-ordered list, others ``None``."""
+        res = self._collective(
+            "gather", payload,
+            lambda e: [e[i] for i in range(len(e))],
+            nbytes=payload_nbytes(payload),
+        )
+        return res if self.rank == root else None
+
+    def allgather(self, payload):
+        """Gather-to-all; every rank returns the rank-ordered list."""
+        return self._collective(
+            "allgather", payload,
+            lambda e: [e[i] for i in range(len(e))],
+            nbytes=payload_nbytes(payload),
+        )
+
+    def scatter(self, payloads=None, root: int = 0):
+        """Scatter a list from ``root``; each rank returns its element."""
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                raise ValueError("scatter root must supply size-length list")
+            nb = max(payload_nbytes(p) for p in payloads)
+        else:
+            nb = 0
+        res = self._collective(
+            "scatter", payloads if self.rank == root else None,
+            lambda e: e[root], nbytes=nb,
+        )
+        return res[self.rank]
+
+    def alltoall(self, payloads):
+        """All-to-all: rank i sends ``payloads[j]`` to rank j."""
+        if len(payloads) != self.size:
+            raise ValueError("alltoall requires a size-length list")
+        me = self.rank
+        res = self._collective(
+            "alltoall", list(payloads),
+            lambda e: e,
+            nbytes=max(payload_nbytes(p) for p in payloads),
+        )
+        return [res[j][me] for j in range(self.size)]
+
+    def reduce(self, payload, op=None, root: int = 0):
+        """Reduce with binary ``op`` (default ``+``); root gets the result."""
+        import functools
+
+        op = op or (lambda a, b: a + b)
+
+        def reducer(entries):
+            vals = [entries[i] for i in range(len(entries))]
+            return functools.reduce(op, vals)
+
+        res = self._collective(
+            "reduce", payload, reducer, nbytes=payload_nbytes(payload)
+        )
+        return res if self.rank == root else None
+
+    def allreduce(self, payload, op=None):
+        """Reduce-to-all with binary ``op`` (default ``+``)."""
+        import functools
+
+        op = op or (lambda a, b: a + b)
+
+        def reducer(entries):
+            vals = [entries[i] for i in range(len(entries))]
+            return functools.reduce(op, vals)
+
+        return self._collective(
+            "allreduce", payload, reducer, nbytes=payload_nbytes(payload)
+        )
+
+    def sendrecv(self, payload, dest: int, source: int = ANY_SOURCE,
+                 sendtag: int = 0, recvtag: int = ANY_TAG,
+                 nbytes: int | None = None):
+        """Combined send+receive (deadlock-free shift patterns)."""
+        self.send(payload, dest, sendtag, nbytes=nbytes)
+        return self.recv(source, recvtag)
+
+    def scan(self, payload, op=None):
+        """Inclusive prefix reduction: rank i gets op-fold of ranks 0..i."""
+        import functools
+
+        op = op or (lambda a, b: a + b)
+        me = self.rank
+
+        def reducer(entries):
+            vals = [entries[i] for i in range(len(entries))]
+            out = [vals[0]]
+            for v in vals[1:]:
+                out.append(op(out[-1], v))
+            return out
+
+        res = self._collective(
+            "scan", payload, reducer, nbytes=payload_nbytes(payload)
+        )
+        return res[me]
+
+    def exscan(self, payload, op=None, initial=None):
+        """Exclusive prefix reduction; rank 0 gets ``initial``."""
+        import functools
+
+        op = op or (lambda a, b: a + b)
+        me = self.rank
+
+        def reducer(entries):
+            vals = [entries[i] for i in range(len(entries))]
+            out = [initial]
+            acc = None
+            for i, v in enumerate(vals[:-1]):
+                acc = v if acc is None else op(acc, v)
+                out.append(acc)
+            return out
+
+        res = self._collective(
+            "exscan", payload, reducer, nbytes=payload_nbytes(payload)
+        )
+        return res[me]
+
+    def gatherv(self, payload, root: int = 0):
+        """Gather variable-size contributions (list form of gather)."""
+        return self.gather(payload, root)
+
+    def scatterv(self, payloads=None, root: int = 0):
+        """Scatter variable-size payloads (list form of scatter)."""
+        return self.scatter(payloads, root)
+
+    def alltoallv(self, payloads):
+        """All-to-all with per-destination payloads of any size."""
+        return self.alltoall(payloads)
+
+    def reduce_scatter(self, payloads, op=None):
+        """Reduce ``payloads[j]`` across ranks; rank j gets the result."""
+        import functools
+
+        op = op or (lambda a, b: a + b)
+        if len(payloads) != self.size:
+            raise ValueError("reduce_scatter requires a size-length list")
+        me = self.rank
+
+        def reducer(entries):
+            out = []
+            for j in range(len(entries)):
+                vals = [entries[i][j] for i in range(len(entries))]
+                out.append(functools.reduce(op, vals))
+            return out
+
+        res = self._collective(
+            "reduce_scatter", list(payloads), reducer,
+            nbytes=max(payload_nbytes(p) for p in payloads),
+        )
+        return res[me]
+
+    # -- derived communicators ---------------------------------------------------
+
+    def split(self, color, key: int | None = None):
+        """Partition into sub-communicators by ``color`` (``None`` opts out).
+
+        Ranks with equal ``color`` form a new communicator ordered by
+        ``(key, old rank)``. Returns the new :class:`Comm` or ``None``.
+        """
+        me = self.rank
+        k = me if key is None else key
+        engine = self.engine
+
+        def reducer(entries):
+            groups: dict[object, list] = {}
+            for r in range(len(entries)):
+                c, kk = entries[r]
+                if c is None:
+                    continue
+                groups.setdefault(c, []).append((kk, r))
+            out = {}
+            for c, lst in groups.items():
+                lst.sort()
+                out[c] = (engine.next_comm_id(), [r for _, r in lst])
+            return out
+
+        groups = self._collective("allgather_split", (color, k), reducer)
+        if color is None:
+            return None
+        comm_id, local_ranks = groups[color]
+        return Comm(engine, [self.members[r] for r in local_ranks], comm_id)
+
+    def dup(self):
+        """Duplicate: same group, fresh communication context."""
+        def reducer(entries):
+            return self.engine.next_comm_id()
+
+        new_id = self._collective("dup", None, reducer)
+        return Comm(self.engine, self.members, new_id)
+
+
+class Intercomm(Comm):
+    """An inter-communicator linking two disjoint groups.
+
+    Point-to-point ``dest``/``source`` ranks are *remote group* ranks, as
+    in MPI intercommunicator semantics. The same ``Intercomm`` object is
+    shared by both sides; each side addresses the other. Collectives on
+    an intercomm are limited to :meth:`barrier` (a rendezvous across both
+    groups), which is all the transports in this package need.
+    """
+
+    is_inter = True
+
+    def __init__(self, engine, local_members: list[int],
+                 remote_members: list[int], comm_id: int | None = None):
+        super().__init__(engine, local_members, comm_id)
+        self.remote_members = list(remote_members)
+        self._remote_w2l = {w: i for i, w in enumerate(self.remote_members)}
+        overlap = set(local_members) & set(remote_members)
+        if overlap:
+            raise CommMismatchError(f"groups overlap: {sorted(overlap)}")
+
+    @classmethod
+    def create(cls, engine, group_a: list[int], group_b: list[int]):
+        """Build the pair of views (a->b, b->a) sharing one context."""
+        comm_id = engine.next_comm_id()
+        ab = cls(engine, group_a, group_b, comm_id)
+        ba = cls(engine, group_b, group_a, comm_id)
+        return ab, ba
+
+    @property
+    def remote_size(self) -> int:
+        """Number of ranks in the remote group."""
+        return len(self.remote_members)
+
+    def _dest_world(self, dest: int) -> int:
+        try:
+            return self.remote_members[dest]
+        except IndexError:
+            raise CommMismatchError(
+                f"remote dest {dest} out of range for remote size "
+                f"{self.remote_size}"
+            ) from None
+
+    def _src_world(self, src_local: int) -> int:
+        """Senders on an intercomm live in the remote group."""
+        return self.remote_members[src_local]
+
+    def _participants(self) -> int:
+        return len(self.members) + len(self.remote_members)
+
+    def _my_coll_key(self) -> int:
+        # Unique key across both groups: world rank.
+        return _engine.current_world_rank()
+
+    def barrier(self) -> None:
+        """Rendezvous across both groups."""
+        self._collective("barrier", None, lambda e: None)
+
+    def split(self, color, key=None):  # pragma: no cover - guard
+        raise NotImplementedError("cannot split an intercommunicator")
+
+    def dup(self):  # pragma: no cover - guard
+        raise NotImplementedError("cannot dup an intercommunicator")

@@ -1,0 +1,261 @@
+"""Engine: launches ranks on threads and owns virtual clocks/mailboxes."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.simmpi.errors import DeadlockError, WorkerAborted
+from repro.simmpi.message import Message
+from repro.simmpi.netmodel import NetworkModel
+
+_tls = threading.local()
+
+
+def current_world_rank() -> int:
+    """World rank of the calling thread (threads launched by an Engine)."""
+    rank = getattr(_tls, "world_rank", None)
+    if rank is None:
+        raise RuntimeError("not inside a simmpi rank thread")
+    return rank
+
+
+class Proc:
+    """Per-rank state: virtual clock and mailbox. Internal."""
+
+    __slots__ = ("rank", "clock", "lock", "cond", "mailbox")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.clock = 0.0
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        # comm_id -> list[Message]; scanned for (source, tag) matches
+        self.mailbox: dict[int, list[Message]] = {}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced communication event (``Engine(trace=True)``).
+
+    ``kind`` is ``"send"``, ``"recv"`` or ``"coll"``; ranks are world
+    ranks (``peer`` is -1 for collectives); ``vtime`` is the acting
+    rank's virtual clock when the event completed.
+    """
+
+    vtime: float
+    kind: str
+    rank: int
+    peer: int
+    tag: int
+    nbytes: int
+    label: str = ""
+
+
+@dataclass
+class WorldResult:
+    """Result of :meth:`Engine.run`.
+
+    Attributes
+    ----------
+    returns:
+        Per-rank return values of ``main``.
+    vtime:
+        Simulated completion time: the maximum final virtual clock.
+    clocks:
+        Final virtual clock of every rank.
+    messages, bytes_sent:
+        Total point-to-point messages and payload bytes.
+    """
+
+    returns: list = field(default_factory=list)
+    vtime: float = 0.0
+    clocks: list = field(default_factory=list)
+    messages: int = 0
+    bytes_sent: int = 0
+
+
+class Engine:
+    """A simulated machine running ``nprocs`` ranks on threads.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of simulated MPI ranks.
+    model:
+        Network cost model; defaults to Aries-like parameters.
+    timeout:
+        Real-time seconds a blocking operation may wait before the run is
+        declared deadlocked.
+    """
+
+    _POLL = 0.05  # condition-wait slice, seconds of real time
+
+    def __init__(self, nprocs: int, model: NetworkModel | None = None,
+                 timeout: float = 60.0, trace: bool = False):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.nprocs = nprocs
+        self.model = model if model is not None else NetworkModel()
+        self.timeout = timeout
+        #: When True, every send/recv/collective appends a TraceEvent.
+        self.trace = trace
+        self.trace_events: list[TraceEvent] = []
+        self._trace_lock = threading.Lock()
+        self.procs = [Proc(i) for i in range(nprocs)]
+        self.failure: BaseException | None = None
+        self._failed = threading.Event()
+        self._stats_lock = threading.Lock()
+        self.n_messages = 0
+        self.n_bytes = 0
+        self._comm_counter = 0
+        self._comm_lock = threading.Lock()
+        self._coll_ctxs: dict[int, object] = {}
+
+    def coll_ctx(self, comm_id: int, size: int):
+        """Shared collective-rendezvous context for a communicator."""
+        from repro.simmpi.comm import _CollectiveCtx
+
+        with self._comm_lock:
+            ctx = self._coll_ctxs.get(comm_id)
+            if ctx is None:
+                ctx = _CollectiveCtx(size)
+                self._coll_ctxs[comm_id] = ctx
+            elif ctx.size != size:
+                raise ValueError(
+                    f"collective context size mismatch for comm {comm_id}: "
+                    f"{ctx.size} != {size}"
+                )
+            return ctx
+
+    # -- identity ---------------------------------------------------------
+
+    def next_comm_id(self) -> int:
+        """Allocate a fresh communicator id."""
+        with self._comm_lock:
+            self._comm_counter += 1
+            return self._comm_counter
+
+    def proc(self, world_rank: int) -> Proc:
+        """The Proc of ``world_rank``."""
+        return self.procs[world_rank]
+
+    def current_proc(self) -> Proc:
+        """The calling thread's Proc."""
+        return self.procs[current_world_rank()]
+
+    # -- tracing ------------------------------------------------------------
+
+    def record(self, vtime: float, kind: str, rank: int, peer: int,
+               tag: int, nbytes: int, label: str = "") -> None:
+        """Append a trace event (no-op unless tracing is enabled)."""
+        if not self.trace:
+            return
+        with self._trace_lock:
+            self.trace_events.append(
+                TraceEvent(vtime, kind, rank, peer, tag, nbytes, label)
+            )
+
+    def sorted_trace(self) -> list:
+        """Trace events ordered by virtual time (stable)."""
+        with self._trace_lock:
+            return sorted(self.trace_events,
+                          key=lambda e: (e.vtime, e.rank))
+
+    # -- failure handling ---------------------------------------------------
+
+    def fail(self, exc: BaseException) -> None:
+        """Record a failure and wake every sleeper."""
+        if self.failure is None:
+            self.failure = exc
+        self._failed.set()
+        # Wake all sleepers so they notice the failure.
+        for p in self.procs:
+            with p.cond:
+                p.cond.notify_all()
+
+    def check_failed(self) -> None:
+        """Raise WorkerAborted if any rank failed."""
+        if self._failed.is_set():
+            raise WorkerAborted("another rank failed") from self.failure
+
+    def wait_on(self, cond: threading.Condition, predicate, what: str):
+        """Wait (holding ``cond``) until ``predicate()``; honor timeout/failure."""
+        waited = 0.0
+        while not predicate():
+            if self._failed.is_set():
+                raise WorkerAborted("another rank failed") from self.failure
+            if waited >= self.timeout:
+                raise DeadlockError(
+                    f"rank {current_world_rank()} timed out after "
+                    f"{self.timeout:.0f}s real time waiting for {what}"
+                )
+            cond.wait(self._POLL)
+            waited += self._POLL
+
+    # -- delivery ------------------------------------------------------------
+
+    def deliver(self, msg: Message) -> None:
+        """Enqueue a message at its destination mailbox."""
+        dst = self.procs[msg.dst_world]
+        with dst.cond:
+            dst.mailbox.setdefault(msg.comm_id, []).append(msg)
+            dst.cond.notify_all()
+        with self._stats_lock:
+            self.n_messages += 1
+            self.n_bytes += msg.nbytes
+
+    # -- running ----------------------------------------------------------
+
+    def run(self, main, args: tuple = (), kwargs: dict | None = None) -> WorldResult:
+        """Run ``main(world_comm, *args, **kwargs)`` on every rank.
+
+        Raises the first exception raised by any rank. Returns a
+        :class:`WorldResult` on success.
+        """
+        from repro.simmpi.comm import Comm
+
+        kwargs = kwargs or {}
+        world = Comm(self, list(range(self.nprocs)))
+        returns = [None] * self.nprocs
+
+        def runner(rank: int):
+            _tls.world_rank = rank
+            try:
+                returns[rank] = main(world, *args, **kwargs)
+            except WorkerAborted:
+                pass  # secondary failure; the primary one is recorded
+            except BaseException as exc:  # noqa: BLE001 - re-raised from run()
+                self.fail(exc)
+
+        threads = [
+            threading.Thread(target=runner, args=(r,), name=f"simmpi-rank-{r}",
+                             daemon=True)
+            for r in range(self.nprocs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            # Join with a generous bound so a hung run eventually errors.
+            t.join(self.timeout * 10)
+            if t.is_alive() and not self._failed.is_set():
+                self.fail(DeadlockError(f"thread {t.name} did not finish"))
+        if self.failure is not None:
+            raise self.failure
+        clocks = [p.clock for p in self.procs]
+        return WorldResult(
+            returns=returns,
+            vtime=max(clocks),
+            clocks=clocks,
+            messages=self.n_messages,
+            bytes_sent=self.n_bytes,
+        )
+
+
+def run_world(nprocs: int, main, *, model: NetworkModel | None = None,
+              timeout: float = 60.0, args: tuple = (),
+              kwargs: dict | None = None) -> WorldResult:
+    """Convenience wrapper: build an :class:`Engine` and run ``main``."""
+    return Engine(nprocs, model=model, timeout=timeout).run(
+        main, args=args, kwargs=kwargs
+    )

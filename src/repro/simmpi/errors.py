@@ -1,0 +1,27 @@
+"""Exception types raised by the simulated MPI runtime."""
+
+
+class SimMPIError(Exception):
+    """Base class for all simmpi errors."""
+
+
+class DeadlockError(SimMPIError):
+    """A blocking operation timed out.
+
+    Raised when a rank waits longer than the engine's real-time timeout
+    for a message or a collective. In a correct program this indicates a
+    deadlock (e.g. mismatched send/recv or a rank that skipped a
+    collective), so we fail loudly instead of hanging the test suite.
+    """
+
+
+class WorkerAborted(SimMPIError):
+    """Another rank raised an exception; this rank is being torn down.
+
+    The engine re-raises the *original* exception from :meth:`Engine.run`,
+    so user code normally never needs to catch this.
+    """
+
+
+class CommMismatchError(SimMPIError):
+    """An operation addressed a rank outside the communicator."""

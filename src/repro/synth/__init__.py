@@ -1,0 +1,39 @@
+"""Synthetic benchmark workloads (paper Sec. IV-B).
+
+Two datasets: a regular grid of 64-bit unsigned integer scalars and a
+list of particles (3-d float32 vectors). "The values of the grid points
+and particles encode their global position in the grid and in the global
+vector of particles, so that the consumer can validate that data have
+been correctly redistributed." The generators and validators here
+implement exactly that.
+"""
+
+from repro.synth.workloads import (
+    GRID_DTYPE,
+    PARTICLE_DTYPE,
+    SyntheticWorkload,
+    consumer_grid_selection,
+    consumer_particle_selection,
+    grid_shape_for,
+    grid_values,
+    particle_values,
+    producer_grid_selection,
+    producer_particle_selection,
+    validate_grid,
+    validate_particles,
+)
+
+__all__ = [
+    "GRID_DTYPE",
+    "PARTICLE_DTYPE",
+    "SyntheticWorkload",
+    "consumer_grid_selection",
+    "consumer_particle_selection",
+    "grid_shape_for",
+    "grid_values",
+    "particle_values",
+    "producer_grid_selection",
+    "producer_particle_selection",
+    "validate_grid",
+    "validate_particles",
+]

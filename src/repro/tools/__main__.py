@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.tools h5dump <dir> <file>``."""
+
+import sys
+
+from repro.tools.transfer import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Inspection of native-format files (h5ls / h5dump equivalents)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.h5 import format as h5format
+from repro.h5.objects import DatasetNode, GroupNode
+from repro.h5.selection import AllSelection
+
+
+def _load(blob: bytes, name: str = ""):
+    return h5format.decode_file(blob, name)
+
+
+def h5ls(blob: bytes, name: str = "") -> str:
+    """One line per object, like ``h5ls -r``: path, kind, shape/type."""
+    root = _load(blob, name)
+    out = io.StringIO()
+    for node in root.walk():
+        if isinstance(node, DatasetNode):
+            out.write(
+                f"{node.path:<40} Dataset {node.space.shape} "
+                f"{node.dtype.np}\n"
+            )
+        elif isinstance(node, GroupNode):
+            out.write(f"{node.path:<40} Group\n")
+    return out.getvalue()
+
+
+def _dump_attrs(node, out, indent):
+    for aname in sorted(node.attributes):
+        attr = node.attributes[aname]
+        val = "<unwritten>"
+        if attr.value is not None:
+            val = np.array2string(np.asarray(attr.value), threshold=8)
+        out.write(f"{indent}@{aname} = {val}\n")
+
+
+def h5dump(blob: bytes, name: str = "", max_elements: int = 16) -> str:
+    """Tree + attributes + data preview, like a compact ``h5dump``."""
+    root = _load(blob, name)
+    out = io.StringIO()
+    out.write(f"FILE {root.name or '<unnamed>'}\n")
+    _dump_attrs(root, out, "  ")
+
+    def walk(group, depth):
+        indent = "  " * (depth + 1)
+        for cname in sorted(group.children):
+            node = group.children[cname]
+            if isinstance(node, DatasetNode):
+                out.write(
+                    f"{indent}DATASET {cname} shape={node.space.shape} "
+                    f"dtype={node.dtype.np} pieces={len(node.pieces)}\n"
+                )
+                _dump_attrs(node, out, indent + "  ")
+                if node.space.npoints and node.pieces:
+                    data = node.read(AllSelection(node.space.shape))
+                    preview = np.array2string(
+                        data[:max_elements], threshold=max_elements
+                    )
+                    suffix = " ..." if data.size > max_elements else ""
+                    out.write(f"{indent}  data: {preview}{suffix}\n")
+            else:
+                out.write(f"{indent}GROUP {cname}\n")
+                _dump_attrs(node, out, indent + "  ")
+                walk(node, depth + 1)
+
+    walk(root, 0)
+    return out.getvalue()

@@ -1,0 +1,72 @@
+"""ASCII timelines and communication matrices from simmpi traces.
+
+Enable tracing with ``Engine(nprocs, trace=True)`` (or
+``Workflow.run(trace=True)``), then render:
+
+- :func:`render_timeline` -- one lane per rank over virtual time, with
+  ``s`` = send, ``r`` = receive, ``C`` = collective (like a coarse
+  Jumpshot view);
+- :func:`communication_matrix` -- rank-to-rank payload bytes;
+- :func:`render_matrix` -- the matrix as a heat table.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+
+def render_timeline(events, nprocs: int, width: int = 72,
+                    title: str = "") -> str:
+    """One character lane per rank; columns are virtual-time buckets."""
+    if not events:
+        return "(no events traced)\n"
+    t_end = max(e.vtime for e in events)
+    t_end = t_end if t_end > 0 else 1.0
+    lanes = [[" "] * width for _ in range(nprocs)]
+    marks = {"send": "s", "recv": "r", "coll": "C"}
+    for e in events:
+        col = min(width - 1, int(e.vtime / t_end * (width - 1)))
+        mark = marks.get(e.kind, "?")
+        cur = lanes[e.rank][col]
+        if cur == " ":
+            lanes[e.rank][col] = mark
+        elif cur != mark:
+            lanes[e.rank][col] = "*"
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    for r in range(nprocs):
+        out.write(f"rank {r:>3} |" + "".join(lanes[r]) + "|\n")
+    out.write(" " * 9 + f"0{'virtual time'.center(width - 10)}"
+              f"{t_end:.2e}s\n")
+    out.write("         s=send r=recv C=collective *=mixed\n")
+    return out.getvalue()
+
+
+def communication_matrix(events, nprocs: int) -> np.ndarray:
+    """Bytes sent from rank i to rank j (point-to-point only)."""
+    m = np.zeros((nprocs, nprocs), dtype=np.int64)
+    for e in events:
+        if e.kind == "send" and 0 <= e.peer < nprocs:
+            m[e.rank, e.peer] += e.nbytes
+    return m
+
+
+def render_matrix(matrix: np.ndarray, title: str = "") -> str:
+    """The communication matrix as a fixed-width table with totals."""
+    n = matrix.shape[0]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    colw = max(8, len(str(int(matrix.max()))) + 1) if matrix.size else 8
+    out.write("from\\to |" + "".join(str(j).rjust(colw)
+                                     for j in range(n)) + "   total\n")
+    for i in range(n):
+        row = "".join(str(int(v)).rjust(colw) for v in matrix[i])
+        out.write(f"{i:>7} |{row}{int(matrix[i].sum()):>8}\n")
+    out.write(f"{'total':>7} |" + "".join(
+        str(int(matrix[:, j].sum())).rjust(colw) for j in range(n)
+    ) + f"{int(matrix.sum()):>8}\n")
+    return out.getvalue()

@@ -1,0 +1,71 @@
+"""Move simulated-PFS contents to/from a real directory."""
+
+from __future__ import annotations
+
+import os
+
+from repro.pfs.store import PFSStore
+
+
+def _safe_path(base: str, name: str) -> str:
+    """Resolve a store name under ``base``, refusing path escapes."""
+    path = os.path.normpath(os.path.join(base, name))
+    if not path.startswith(os.path.abspath(base) + os.sep) \
+            and path != os.path.abspath(base):
+        raise ValueError(f"unsafe store name {name!r}")
+    return path
+
+
+def export_store(store: PFSStore, directory: str) -> list[str]:
+    """Write every stored file to ``directory`` (subdirs as needed).
+
+    Returns the exported file names.
+    """
+    base = os.path.abspath(directory)
+    os.makedirs(base, exist_ok=True)
+    exported = []
+    for name in store.listdir():
+        path = _safe_path(base, name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        handle = store.open(name)
+        with open(path, "wb") as f:
+            f.write(handle.pread(0, handle.size))
+        exported.append(name)
+    return exported
+
+
+def import_store(directory: str, store: PFSStore | None = None) -> PFSStore:
+    """Load a directory tree (written by :func:`export_store`) into a
+    store, preserving relative names."""
+    base = os.path.abspath(directory)
+    store = store if store is not None else PFSStore()
+    for root, _dirs, files in os.walk(base):
+        for fname in sorted(files):
+            path = os.path.join(root, fname)
+            name = os.path.relpath(path, base).replace(os.sep, "/")
+            with open(path, "rb") as f:
+                store.create(name).pwrite(0, f.read())
+    return store
+
+
+def main(argv=None) -> int:
+    """``python -m repro.tools h5dump|h5ls <dir> <file>``"""
+    import argparse
+
+    from repro.tools.inspect import h5dump, h5ls
+
+    ap = argparse.ArgumentParser(
+        prog="repro.tools",
+        description="Inspect native-format files exported from a "
+                    "simulated PFS.",
+    )
+    ap.add_argument("command", choices=["h5ls", "h5dump"])
+    ap.add_argument("directory", help="directory written by export_store")
+    ap.add_argument("file", help="file name within the directory")
+    args = ap.parse_args(argv)
+    store = import_store(args.directory)
+    handle = store.open(args.file)
+    blob = handle.pread(0, handle.size)
+    fn = h5ls if args.command == "h5ls" else h5dump
+    print(fn(blob, args.file), end="")
+    return 0

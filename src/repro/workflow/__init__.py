@@ -1,0 +1,22 @@
+"""Henson-like workflow runner.
+
+The paper orchestrates unmodified tasks (Nyx, Reeber) with a Python
+script using Henson: tasks are colocated in one job, each gets a slice
+of the MPI world, and LowFive intercommunicators connect them. This
+package provides that orchestration for simulated tasks:
+
+    wf = Workflow()
+    wf.add_task("sim", nprocs=6, main=simulation)
+    wf.add_task("ana", nprocs=2, main=analysis)
+    wf.add_link("sim", "ana")          # producer -> consumer
+    result = wf.run()
+
+Each task ``main(ctx)`` receives a :class:`~repro.workflow.task.TaskContext`
+with its local communicator, intercommunicators to linked tasks, and a
+per-task singleton helper for shared objects (e.g. one VOL per task).
+"""
+
+from repro.workflow.task import Task, TaskContext
+from repro.workflow.runner import Workflow, WorkflowResult
+
+__all__ = ["Task", "TaskContext", "Workflow", "WorkflowResult"]

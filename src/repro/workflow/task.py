@@ -1,0 +1,85 @@
+"""Workflow task descriptions and per-rank execution context."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass
+class Task:
+    """One task (separate 'executable') of the workflow.
+
+    Attributes
+    ----------
+    name:
+        Unique task name, used to address links.
+    nprocs:
+        Number of simulated MPI processes allocated to the task.
+    main:
+        ``main(ctx)`` run on every rank of the task.
+    """
+
+    name: str
+    nprocs: int
+    main: object
+
+    def __post_init__(self):
+        if self.nprocs < 1:
+            raise ValueError(f"task {self.name!r} needs nprocs >= 1")
+
+
+class TaskContext:
+    """What a task rank sees: its comm, its links, shared singletons."""
+
+    def __init__(self, task: Task, comm, world, links: dict):
+        self.task = task
+        #: This task's local communicator.
+        self.comm = comm
+        #: The whole-job communicator (rarely needed; Henson-style jobs
+        #: keep tasks isolated).
+        self.world = world
+        self._links = links
+        self._singletons = {}
+        self._singleton_lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        """This task's name."""
+        return self.task.name
+
+    @property
+    def rank(self) -> int:
+        """This rank within the task."""
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the task."""
+        return self.comm.size
+
+    def intercomm(self, other: str):
+        """The intercommunicator linking this task with task ``other``."""
+        try:
+            return self._links[other]
+        except KeyError:
+            raise KeyError(
+                f"task {self.task.name!r} has no link to {other!r}; "
+                f"available: {sorted(self._links)}"
+            ) from None
+
+    @property
+    def links(self) -> dict:
+        """All links of this task, keyed by peer task name."""
+        return dict(self._links)
+
+    def singleton(self, key: str, factory):
+        """Create-once-per-task shared object (e.g. the task's VOL).
+
+        Every rank calls this; the first caller runs ``factory()`` and
+        all ranks get the same object back.
+        """
+        with self._singleton_lock:
+            if key not in self._singletons:
+                self._singletons[key] = factory()
+            return self._singletons[key]

@@ -1,0 +1,91 @@
+"""Benchmark-harness formatting/plotting tests."""
+
+import os
+
+import pytest
+
+from repro.bench import ascii_loglog, format_series_table, format_table
+from repro.bench.tables import _fmt, write_result
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, None]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "x" in lines[4]  # None -> x (the paper's DNF marker)
+
+    def test_number_formats(self):
+        assert _fmt(None) == "x"
+        assert _fmt(0.0) == "0"
+        assert _fmt(123.456) == "123"
+        assert _fmt(1.234) == "1.23"
+        assert _fmt(0.01234) == "0.012"
+        assert _fmt("abc") == "abc"
+
+    def test_empty_rows(self):
+        text = format_table(["h1", "h2"], [])
+        assert "h1" in text
+
+
+class TestSeriesTable:
+    def test_series_layout(self):
+        text = format_series_table(
+            [4, 16], {"A": [1.0, 2.0], "B": [3.0, None]}
+        )
+        assert "#procs" in text
+        assert "A (s)" in text and "B (s)" in text
+        assert "x" in text
+
+
+class TestAsciiPlot:
+    PROCS = [4, 16, 64, 256]
+
+    def test_plot_contains_series_letters_and_legend(self):
+        plot = ascii_loglog(
+            self.PROCS, {"up": [1, 2, 4, 8], "down": [8, 4, 2, 1]},
+            title="demo",
+        )
+        assert plot.startswith("demo")
+        assert "A = up" in plot and "B = down" in plot
+        assert "(#procs)" in plot
+
+    def test_monotone_series_renders_monotone(self):
+        plot = ascii_loglog(self.PROCS, {"up": [1, 10, 100, 1000]})
+        rows = [l for l in plot.splitlines() if "|" in l]
+        cols = []
+        for r, line in enumerate(rows):
+            body = line.split("|", 1)[1]
+            for c, ch in enumerate(body):
+                if ch == "A":
+                    cols.append((c, r))
+        cols.sort()
+        # Higher x -> higher value -> smaller row index (top of plot).
+        assert all(b[1] < a[1] for a, b in zip(cols, cols[1:]))
+
+    def test_missing_points_skipped(self):
+        plot = ascii_loglog(self.PROCS, {"s": [1, None, None, 4]})
+        assert plot.count("A") >= 2  # legend + 2 points
+
+    def test_overlap_marker(self):
+        plot = ascii_loglog(self.PROCS, {"a": [1, 1, 1, 1],
+                                         "b": [1, 1, 1, 1]})
+        assert "*" in plot
+
+    def test_k_axis_labels(self):
+        plot = ascii_loglog([1024, 4096], {"s": [1, 2]})
+        assert "1K" in plot and "4K" in plot
+
+    def test_all_missing_raises(self):
+        with pytest.raises(ValueError):
+            ascii_loglog([4], {"s": [None]})
+
+
+class TestWriteResult:
+    def test_writes_under_results_dir(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "res"))
+        path = write_result("t.txt", "hello\n")
+        assert os.path.exists(path)
+        assert open(path).read() == "hello\n"
+        assert "hello" in capsys.readouterr().out

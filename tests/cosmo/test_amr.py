@@ -1,0 +1,73 @@
+"""AMReX-like substrate tests."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo import BoxArray, DistributionMapping, MultiFab
+
+
+def test_boxarray_covers_domain():
+    ba = BoxArray((40, 40, 40), max_grid_size=16)
+    cover = np.zeros((40, 40, 40), dtype=int)
+    for box in ba:
+        cover[tuple(slice(l, h) for l, h in zip(box.min, box.max))] += 1
+    assert (cover == 1).all()
+    assert ba.total_cells == 40**3
+
+
+def test_boxarray_box_sizes_bounded():
+    ba = BoxArray((100,), max_grid_size=32)
+    assert len(ba) == 4
+    assert [b.shape[0] for b in ba] == [32, 32, 32, 4]
+
+
+def test_boxarray_exact_division():
+    ba = BoxArray((64, 64), max_grid_size=32)
+    assert len(ba) == 4
+    assert all(b.shape == (32, 32) for b in ba)
+
+
+def test_boxarray_validation():
+    with pytest.raises(ValueError):
+        BoxArray((0, 4))
+    with pytest.raises(ValueError):
+        BoxArray((4,), max_grid_size=0)
+
+
+def test_distribution_mapping_round_robin():
+    ba = BoxArray((64,), max_grid_size=8)  # 8 boxes
+    dm = DistributionMapping(ba, 3)
+    assert dm.owner(0) == 0 and dm.owner(1) == 1 and dm.owner(3) == 0
+    assert dm.local_boxes(0) == [0, 3, 6]
+    all_boxes = sorted(
+        b for r in range(3) for b in dm.local_boxes(r)
+    )
+    assert all_boxes == list(range(8))
+    with pytest.raises(ValueError):
+        DistributionMapping(ba, 0)
+
+
+def test_multifab_local_storage():
+    ba = BoxArray((16, 16), max_grid_size=8)  # 4 boxes
+    dm = DistributionMapping(ba, 2)
+    mf = MultiFab(ba, dm, rank=0)
+    assert mf.local_box_ids == [0, 2]
+    assert mf.fab(0).shape == (8, 8)
+    assert mf.local_cells() == 128
+
+
+def test_multifab_ncomp():
+    ba = BoxArray((8,), max_grid_size=8)
+    dm = DistributionMapping(ba, 1)
+    mf = MultiFab(ba, dm, rank=0, ncomp=3)
+    assert mf.fab(0).shape == (8, 3)
+
+
+def test_multifab_reductions():
+    ba = BoxArray((4, 4), max_grid_size=4)
+    dm = DistributionMapping(ba, 1)
+    mf = MultiFab(ba, dm, rank=0)
+    mf.set_val(2.0)
+    assert mf.local_sum() == 32.0
+    assert mf.local_min() == 2.0
+    assert mf.local_max() == 2.0

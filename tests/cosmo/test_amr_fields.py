@@ -1,0 +1,152 @@
+"""Multi-variable/multi-level AMR snapshot tests.
+
+The headline assertion reproduces the paper's introduction claim: with
+LowFive's metadata-aware transport, an analysis that consumes one
+variable at one resolution only moves that dataset's bytes -- the other
+variables "never actually have to be written, i.e., sent".
+"""
+
+import numpy as np
+import pytest
+
+import repro.h5 as h5
+from repro.cosmo import NyxProxy
+from repro.cosmo.amr_fields import (
+    REFINE_RATIO,
+    derive_fields,
+    level1_values,
+    make_level1_density,
+    refined_region,
+    write_amr_snapshot,
+)
+from repro.diy import RegularDecomposer
+from repro.h5.native import NativeVOL
+from repro.lowfive import DistMetadataVOL
+from repro.pfs import PFSStore
+from repro.workflow import Workflow
+
+N = 16
+
+
+class TestFieldDerivation:
+    def test_derives_six_variables(self):
+        sim = NyxProxy(N, None, seed=2, max_grid_size=8)
+        fields = derive_fields(sim.advance())
+        assert set(fields) == {
+            "baryon_density", "temperature", "pressure",
+            "velocity_x", "velocity_y", "velocity_z",
+        }
+
+    def test_derived_values_pointwise(self):
+        sim = NyxProxy(N, None, seed=2, max_grid_size=8)
+        density = sim.advance()
+        fields = derive_fields(density)
+        bid = density.local_box_ids[0]
+        d = density.fab(bid)
+        np.testing.assert_allclose(
+            fields["temperature"].fab(bid), 1.0e4 * np.sqrt(1.0 + d)
+        )
+        np.testing.assert_allclose(fields["velocity_z"].fab(bid), 0.0)
+
+    def test_refined_region_centered(self):
+        r = refined_region((16, 16, 16))
+        assert list(r.min) == [4, 4, 4]
+        assert list(r.max) == [12, 12, 12]
+
+    def test_level1_decomposition_independent(self):
+        a = make_level1_density(None, (N, N, N))
+        # Values must match the analytic helper for any box.
+        for bid in a.local_box_ids:
+            box = a.boxarray[bid]
+            sel = box.to_selection(a.boxarray.domain)
+            np.testing.assert_allclose(
+                a.fab(bid).reshape(-1), level1_values(sel)
+            )
+
+    def test_level1_shape_refined(self):
+        mf = make_level1_density(None, (N, N, N))
+        assert mf.boxarray.domain == (
+            REFINE_RATIO * 8, REFINE_RATIO * 8, REFINE_RATIO * 8
+        )
+
+
+def run_amr_workflow(read_paths, nprod=4, ncons=2):
+    """Producer writes the full snapshot; consumers read ``read_paths``.
+
+    Returns (WorkflowResult, per-consumer validation flags).
+    """
+    def make_vol(ctx, role, peer):
+        def factory():
+            vol = DistMetadataVOL(comm=ctx.comm, under=NativeVOL(PFSStore()))
+            vol.set_memory("amr.h5")
+            if role == "producer":
+                vol.serve_on_close("amr.h5", ctx.intercomm(peer))
+            else:
+                vol.set_consumer("amr.h5", ctx.intercomm(peer))
+            return vol
+
+        return ctx.singleton("vol", factory)
+
+    def producer(ctx):
+        vol = make_vol(ctx, "producer", "consumer")
+        sim = NyxProxy(N, ctx.comm, seed=5, max_grid_size=8)
+        write_amr_snapshot("amr.h5", sim, ctx.comm, vol, step=0)
+        return True
+
+    def consumer(ctx):
+        vol = make_vol(ctx, "consumer", "producer")
+        f = h5.File("amr.h5", "r", comm=ctx.comm, vol=vol)
+        oks = []
+        for path in read_paths:
+            dset = f[path]
+            dec = RegularDecomposer(dset.shape, ctx.size)
+            if ctx.rank < dec.ngrid_blocks:
+                sel = dec.block_bounds(ctx.rank).to_selection(dset.shape)
+            else:
+                from repro.h5.selection import NoneSelection
+
+                sel = NoneSelection(dset.shape)
+            vals = np.asarray(dset.read(sel, reshape=False))
+            if path == "level_1/baryon_density" and sel.npoints:
+                oks.append(np.allclose(vals, level1_values(sel)))
+            else:
+                oks.append(vals.size == sel.npoints)
+        assert f.attrs["refine_ratio"] == REFINE_RATIO
+        f.close()
+        return all(oks)
+
+    wf = Workflow()
+    wf.add_task("producer", nprod, producer)
+    wf.add_task("consumer", ncons, consumer)
+    wf.add_link("producer", "consumer")
+    res = wf.run(timeout=120.0)
+    assert all(res.returns["consumer"])
+    return res
+
+
+class TestMinimalTransport:
+    def test_one_variable_moves_fraction_of_bytes(self):
+        """The intro claim: reading one of six level-0 variables moves
+        roughly one sixth of the level-0 bytes."""
+        one = run_amr_workflow(["native_fields/baryon_density"])
+        all_vars = run_amr_workflow([
+            f"native_fields/{v}" for v in
+            ("baryon_density", "temperature", "pressure",
+             "velocity_x", "velocity_y", "velocity_z")
+        ])
+        # 6 variables read vs 1: payload roughly 6x (metadata overhead
+        # keeps it below exactly 6).
+        assert all_vars.bytes_sent > 4 * one.bytes_sent
+
+    def test_unread_datasets_never_hit_storage(self):
+        res = run_amr_workflow(["native_fields/temperature"])
+        # Memory mode: nothing at all reaches the PFS.
+        assert res.bytes_sent > 0
+
+    def test_refined_level_readable_alone(self):
+        run_amr_workflow(["level_1/baryon_density"])
+
+    def test_mixed_level_read(self):
+        run_amr_workflow([
+            "native_fields/baryon_density", "level_1/baryon_density",
+        ])

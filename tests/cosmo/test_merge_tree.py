@@ -1,0 +1,129 @@
+"""Merge-tree tests (Reeber's core data structure)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import ndimage
+
+from repro.cosmo.merge_tree import MergeTree, TreeNode, build_merge_tree, halos_at
+from repro.cosmo.reeber import find_halos_serial
+
+
+class TestBasics:
+    def test_single_peak(self):
+        f = np.zeros((5, 5))
+        f[2, 2] = 3.0
+        tree = build_merge_tree(f)
+        # One real maximum above the flat background.
+        tops = [n for n in tree.nodes if n.birth == 3.0]
+        assert len(tops) == 1
+        assert tops[0].cell == (2, 2)
+        assert tops[0].death == float("-inf")
+        assert tops[0].persistence == float("inf")
+
+    def test_two_peaks_one_saddle(self):
+        f = np.array([5.0, 1.0, 4.0])
+        tree = build_merge_tree(f)
+        peaks = sorted((n.birth, n.death) for n in tree.nodes)
+        # Max at 5 is the root; max at 4 dies at the saddle value 1.
+        assert (4.0, 1.0) in peaks
+        assert (5.0, float("-inf")) in peaks
+        assert tree.n_components_at(2.0) == 2
+        assert tree.n_components_at(4.5) == 1
+        assert tree.n_components_at(5.5) == 0
+
+    def test_persistence_values(self):
+        f = np.array([5.0, 1.0, 4.0])
+        tree = build_merge_tree(f)
+        small = [n for n in tree.nodes if n.birth == 4.0][0]
+        assert small.persistence == pytest.approx(3.0)
+
+    def test_monotone_ramp_single_component(self):
+        f = np.arange(10, dtype=float)
+        tree = build_merge_tree(f)
+        # Only the global max is a maximum.
+        assert len([n for n in tree.nodes if n.death == float("-inf")]) == 1
+        for t in (-0.5, 2.5, 8.5):
+            assert tree.n_components_at(t) == 1
+        assert tree.n_components_at(9.0) == 0
+
+    def test_plateau_ties_deterministic(self):
+        f = np.ones((3, 3))
+        t1 = build_merge_tree(f)
+        t2 = build_merge_tree(f)
+        assert [(n.cell, n.birth) for n in t1.nodes] == \
+            [(n.cell, n.birth) for n in t2.nodes]
+        # A flat field has exactly one component above any t < 1.
+        assert t1.n_components_at(0.5) == 1
+
+
+class TestAgainstLabeling:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6), st.floats(0.1, 0.9))
+    def test_prop_component_count_matches_ndimage(self, seed, q):
+        rng = np.random.default_rng(seed)
+        f = rng.random((8, 8))
+        t = float(np.quantile(f, q))
+        tree = build_merge_tree(f)
+        labels, ncomp = ndimage.label(f > t)
+        assert tree.n_components_at(t) == ncomp
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_prop_3d_component_count(self, seed):
+        rng = np.random.default_rng(seed)
+        f = rng.random((5, 5, 5))
+        t = 0.6
+        tree = build_merge_tree(f)
+        _, ncomp = ndimage.label(f > t)
+        assert tree.n_components_at(t) == ncomp
+
+    def test_maxima_at_matches_halo_count(self):
+        rng = np.random.default_rng(3)
+        f = rng.random((10, 10)) * (rng.random((10, 10)) > 0.6)
+        t = 0.3
+        halos = find_halos_serial(f, t)
+        tree = build_merge_tree(f)
+        assert len(tree.maxima_at(t)) == len(halos)
+        # Representatives are the component peaks.
+        tree_peaks = sorted(n.birth for n in tree.maxima_at(t))
+        halo_peaks = sorted(h.peak_density for h in halos)
+        np.testing.assert_allclose(tree_peaks, halo_peaks)
+
+
+class TestPersistenceFilter:
+    def test_filter_prunes_shallow_component(self):
+        # Two components above t=1: a tall one (peak 10) and a shallow
+        # one (peak 1.4). The persistence filter drops the shallow one.
+        f = np.zeros(9)
+        f[1] = 10.0
+        f[7] = 1.4
+        assert len(halos_at(f, 1.0)) == 2
+        assert len(halos_at(f, 1.0, min_persistence=2.0)) == 1
+
+    def test_root_survives_any_filter(self):
+        f = np.array([3.0, 0.0, 2.0])
+        kept = halos_at(f, -0.5, min_persistence=1e9)
+        assert len(kept) == 1
+        assert kept[0].birth == 3.0
+
+    def test_nested_merges(self):
+        # Three peaks 9 > 7 > 5 with saddles 2 and 4.
+        f = np.array([9.0, 2.0, 7.0, 4.0, 5.0])
+        tree = build_merge_tree(f)
+        pairs = sorted(tree.persistence_pairs())
+        assert (5.0, 4.0) in pairs
+        assert (7.0, 2.0) in pairs
+        assert tree.n_components_at(4.5) == 3  # all three peaks separate
+        assert tree.n_components_at(3.0) == 2  # 5-peak merged via saddle 4
+        assert tree.n_components_at(1.0) == 1  # everything connected
+
+
+class TestTreeNode:
+    def test_node_fields(self):
+        n = TreeNode((1, 2), 5.0, 3.0)
+        assert n.persistence == 2.0
+
+    def test_len(self):
+        f = np.array([1.0, 0.0, 1.0])
+        assert len(build_merge_tree(f)) == 2

@@ -1,0 +1,171 @@
+"""Nyx proxy + plotfile format tests, and the full Nyx->Reeber coupling."""
+
+import numpy as np
+import pytest
+
+import repro.h5 as h5
+from repro.cosmo import NyxProxy, write_snapshot_h5
+from repro.cosmo.nyx import DENSITY_PATH
+from repro.cosmo.plotfile import (
+    read_plotfile_box,
+    read_plotfile_header,
+    write_plotfile,
+)
+from repro.cosmo.reeber import find_halos_distributed, find_halos_serial
+from repro.diy import Bounds, RegularDecomposer
+from repro.h5.native import NativeVOL
+from repro.lowfive import DistMetadataVOL
+from repro.pfs import PFSStore
+from repro.simmpi import run_world
+from repro.workflow import Workflow
+
+
+class TestNyxProxy:
+    def test_deterministic(self):
+        a = NyxProxy(16, None, seed=1)
+        b = NyxProxy(16, None, seed=1)
+        da = a.advance()
+        db = b.advance()
+        for bid in da.local_box_ids:
+            np.testing.assert_array_equal(da.fab(bid), db.fab(bid))
+
+    def test_density_has_structure(self):
+        sim = NyxProxy(16, None, seed=3)
+        d = sim.advance()
+        assert d.local_max() > 2.0  # clustered, not uniform
+        assert d.local_min() == 0.0
+
+    def test_mass_conserved_across_steps(self):
+        sim = NyxProxy(16, None, seed=5)
+        s1 = sim.advance().local_sum()
+        s2 = sim.advance().local_sum()
+        assert s1 == pytest.approx(s2, rel=1e-9)
+
+    def test_snapshot_h5_roundtrip_serial(self):
+        store = PFSStore()
+        sim = NyxProxy(16, None, seed=2, max_grid_size=8)
+        density = sim.advance()
+        write_snapshot_h5("plt0.h5", density, None, NativeVOL(store), step=0)
+        with h5.File("plt0.h5", "r", vol=NativeVOL(store)) as f:
+            grid = f[DENSITY_PATH].read()
+            assert grid.shape == (16, 16, 16)
+            assert f.attrs["step"] == 0
+            for bid in density.local_box_ids:
+                box = density.boxarray[bid]
+                sl = tuple(slice(l, h) for l, h in zip(box.min, box.max))
+                np.testing.assert_array_equal(grid[sl], density.fab(bid))
+
+    def test_parallel_snapshot(self):
+        store = PFSStore()
+        vol = NativeVOL(store)
+
+        def main(comm):
+            sim = NyxProxy(16, comm, seed=9, max_grid_size=8)
+            density = sim.advance()
+            write_snapshot_h5("plt.h5", density, comm, vol, step=1)
+            return density.local_sum()
+
+        res = run_world(4, main)
+        with h5.File("plt.h5", "r", vol=NativeVOL(store)) as f:
+            grid = f[DENSITY_PATH].read()
+        assert grid.sum() == pytest.approx(sum(res.returns), rel=1e-9)
+
+
+class TestPlotfile:
+    def _write(self, nranks=4, n=16, nfiles=2):
+        store = PFSStore()
+
+        def main(comm):
+            sim = NyxProxy(n, comm, seed=4, max_grid_size=8)
+            density = sim.advance()
+            write_plotfile(store, "plt00000", density, comm, step=0,
+                           nfiles=nfiles)
+            return density
+
+        res = run_world(nranks, main)
+        return store, res.returns
+
+    def test_header_contents(self):
+        store, fabs = self._write()
+        hdr = read_plotfile_header(store, "plt00000")
+        assert hdr["domain"] == (16, 16, 16)
+        assert hdr["names"] == ["baryon_density"]
+        assert hdr["step"] == 0
+        assert hdr["nfiles"] == 2
+        assert len(hdr["boxes"]) == 8  # 16^3 / 8^3
+
+    def test_data_roundtrip(self):
+        store, fabs = self._write()
+        hdr = read_plotfile_header(store, "plt00000")
+        for rank_density in fabs:
+            for bid in rank_density.local_box_ids:
+                got = read_plotfile_box(store, "plt00000", hdr, bid)
+                np.testing.assert_array_equal(got, rank_density.fab(bid))
+
+    def test_multiple_binary_files_created(self):
+        store, _ = self._write(nfiles=2)
+        names = store.listdir()
+        assert "plt00000/Level_0/Cell_D_00000" in names
+        assert "plt00000/Level_0/Cell_D_00001" in names
+
+
+class TestNyxReeberCoupling:
+    def test_in_situ_halo_pipeline(self):
+        """The paper's use case end-to-end at test scale: Nyx writes a
+        snapshot via unchanged h5 calls through LowFive; Reeber reads it
+        in situ and finds the same halos as a serial reference."""
+        n = 16
+        threshold = 2.0
+        serial_sim = NyxProxy(n, None, seed=11, max_grid_size=8)
+        serial_density = serial_sim.advance()
+        full = np.zeros((n, n, n))
+        for bid in serial_density.local_box_ids:
+            box = serial_density.boxarray[bid]
+            sl = tuple(slice(l, h) for l, h in zip(box.min, box.max))
+            full[sl] = serial_density.fab(bid)
+        expected = [h.round() for h in find_halos_serial(full, threshold)]
+        assert expected, "seed must produce at least one halo"
+
+        def nyx_task(ctx):
+            vol = ctx.singleton("vol", lambda: self._producer_vol(ctx))
+            sim = NyxProxy(n, ctx.comm, seed=11, max_grid_size=8)
+            density = sim.advance()
+            write_snapshot_h5("plt.h5", density, ctx.comm, vol, step=0)
+
+        def reeber_task(ctx):
+            vol = ctx.singleton("vol", lambda: self._consumer_vol(ctx))
+            f = h5.File("plt.h5", "r", comm=ctx.comm, vol=vol)
+            dset = f[DENSITY_PATH]
+            dec = RegularDecomposer(dset.shape, ctx.size)
+            if ctx.rank < dec.ngrid_blocks:
+                b = dec.block_bounds(ctx.rank)
+            else:
+                b = Bounds([0, 0, 0], [0, 0, 0])
+            block = dset.read(b.to_selection(dset.shape))
+            f.close()
+            halos = find_halos_distributed(
+                ctx.comm, np.asarray(block), b, dset.shape, threshold
+            )
+            return [h.round() for h in halos]
+
+        wf = Workflow()
+        wf.add_task("nyx", 4, nyx_task)
+        wf.add_task("reeber", 2, reeber_task)
+        wf.add_link("nyx", "reeber")
+        res = wf.run()
+        for halos in res.returns["reeber"]:
+            assert halos == expected
+
+    @staticmethod
+    def _producer_vol(ctx):
+        vol = DistMetadataVOL(comm=ctx.comm, under=NativeVOL(PFSStore()))
+        vol.set_memory("plt.h5")
+        vol.serve_on_close("plt.h5", ctx.intercomm("reeber"))
+        return vol
+
+    @staticmethod
+    def _consumer_vol(ctx):
+        vol = DistMetadataVOL(comm=ctx.comm, under=NativeVOL(PFSStore()))
+        vol.set_memory("plt.h5")
+        vol.set_consumer("plt.h5", ctx.intercomm("nyx"))
+        return vol

@@ -1,0 +1,131 @@
+"""Halo-finder tests: serial reference and distributed merge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cosmo import find_halos_distributed, find_halos_serial
+from repro.cosmo.reeber import _UnionFind
+from repro.diy import Bounds, RegularDecomposer
+from repro.simmpi import run_world
+
+
+class TestUnionFind:
+    def test_basic(self):
+        uf = _UnionFind()
+        uf.union("a", "b")
+        uf.union("c", "d")
+        assert uf.find("a") == uf.find("b")
+        assert uf.find("c") != uf.find("a")
+        uf.union("b", "c")
+        assert uf.find("d") == uf.find("a")
+
+    def test_deterministic_roots(self):
+        uf = _UnionFind()
+        uf.union((1, 5), (0, 2))
+        assert uf.find((1, 5)) == (0, 2)
+
+
+class TestSerial:
+    def test_single_halo(self):
+        d = np.zeros((8, 8, 8))
+        d[2:4, 2:4, 2:4] = 5.0
+        halos = find_halos_serial(d, threshold=1.0)
+        assert len(halos) == 1
+        assert halos[0].n_cells == 8
+        assert halos[0].mass == 40.0
+        assert halos[0].peak_density == 5.0
+
+    def test_two_halos_sorted_by_mass(self):
+        d = np.zeros((10, 10))
+        d[0:2, 0:2] = 2.0   # mass 8
+        d[5:9, 5:9] = 3.0   # mass 48
+        halos = find_halos_serial(d, threshold=1.0)
+        assert [h.mass for h in halos] == [48.0, 8.0]
+
+    def test_no_halos(self):
+        assert find_halos_serial(np.zeros((4, 4)), 0.5) == []
+
+    def test_diagonal_not_connected(self):
+        d = np.zeros((4, 4))
+        d[0, 0] = 2.0
+        d[1, 1] = 2.0
+        halos = find_halos_serial(d, 1.0)
+        assert len(halos) == 2
+
+    def test_threshold_is_strict(self):
+        d = np.full((3, 3), 1.0)
+        assert find_halos_serial(d, 1.0) == []
+        assert len(find_halos_serial(d, 0.99)) == 1
+
+
+def run_distributed(density, nranks, threshold):
+    """Split a global density grid over ranks and find halos."""
+    shape = density.shape
+    dec = RegularDecomposer(shape, nranks)
+
+    def main(comm):
+        if comm.rank < dec.ngrid_blocks:
+            b = dec.block_bounds(comm.rank)
+        else:
+            b = Bounds([0] * len(shape), [0] * len(shape))
+        block = density[tuple(slice(l, h) for l, h in zip(b.min, b.max))]
+        return find_halos_distributed(comm, block, b, shape, threshold)
+
+    res = run_world(nranks, main)
+    # Every rank must agree on the global result.
+    first = [h.round() for h in res.returns[0]]
+    for r in res.returns[1:]:
+        assert [h.round() for h in r] == first
+    return first
+
+
+class TestDistributed:
+    def test_matches_serial_single_block_halo(self):
+        d = np.zeros((8, 8))
+        d[1:3, 1:3] = 4.0
+        got = run_distributed(d, 4, 1.0)
+        want = [h.round() for h in find_halos_serial(d, 1.0)]
+        assert got == want
+
+    def test_halo_spanning_block_boundary(self):
+        d = np.zeros((8, 8))
+        d[3:6, 3:6] = 2.0  # crosses the 2x2 block split at 4
+        got = run_distributed(d, 4, 1.0)
+        want = [h.round() for h in find_halos_serial(d, 1.0)]
+        assert got == want
+        assert len(got) == 1
+        assert got[0].n_cells == 9
+
+    def test_halo_spanning_many_blocks_3d(self):
+        d = np.zeros((8, 8, 8))
+        d[2:7, 2:7, 2:7] = 1.5
+        d[4, 4, 4] = 9.0
+        got = run_distributed(d, 8, 1.0)
+        want = [h.round() for h in find_halos_serial(d, 1.0)]
+        assert got == want
+        assert got[0].peak_cell == (4, 4, 4)
+
+    def test_multiple_disjoint_halos(self):
+        rng = np.random.default_rng(7)
+        d = np.zeros((12, 12))
+        d[0:2, 0:2] = 2.0
+        d[10:12, 10:12] = 3.0
+        d[5:7, 0:2] = 4.0
+        got = run_distributed(d, 6, 1.0)
+        want = [h.round() for h in find_halos_serial(d, 1.0)]
+        assert got == want
+        assert len(got) == 3
+
+    def test_empty_grid(self):
+        assert run_distributed(np.zeros((6, 6)), 4, 0.5) == []
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(1, 6))
+    def test_prop_distributed_equals_serial(self, seed, nranks):
+        rng = np.random.default_rng(seed)
+        d = (rng.random((10, 10)) > 0.7).astype(float) * \
+            rng.uniform(1.5, 5.0, (10, 10))
+        got = run_distributed(d, nranks, 1.0)
+        want = [h.round() for h in find_halos_serial(d, 1.0)]
+        assert got == want

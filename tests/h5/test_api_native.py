@@ -1,0 +1,257 @@
+"""API + native VOL tests, serial and parallel (over simmpi)."""
+
+import numpy as np
+import pytest
+
+import repro.h5 as h5
+from repro.h5.errors import (
+    ClosedError,
+    ExistsError,
+    H5Error,
+    ModeError,
+    NotFoundError,
+    SelectionError,
+)
+from repro.h5.native import NativeVOL
+from repro.h5.plist import DatasetCreateProps, TransferProps
+from repro.pfs import PFSStore
+from repro.simmpi import run_world
+
+
+@pytest.fixture
+def vol():
+    return NativeVOL()
+
+
+class TestSerial:
+    def test_create_write_read_roundtrip(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            d = f.create_dataset("x", data=np.arange(10, dtype="i4"))
+            assert d.shape == (10,)
+        with h5.File("a.h5", "r", vol=vol) as f:
+            np.testing.assert_array_equal(f["x"].read(), np.arange(10))
+
+    def test_nested_paths_in_create_dataset(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            f.create_dataset("g1/g2/data", data=[1.5, 2.5])
+        with h5.File("a.h5", "r", vol=vol) as f:
+            assert "g1" in f
+            assert f["g1"].keys() == ["g2"]
+            np.testing.assert_array_equal(f["g1/g2/data"].read(), [1.5, 2.5])
+
+    def test_groups_and_keys(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            f.create_group("b")
+            f.create_group("a/inner")
+            f.create_dataset("c", data=[1])
+            assert sorted(f.keys()) == ["a", "b", "c"]
+            items = dict(f.items())
+            assert isinstance(items["a"], h5.Group)
+            assert isinstance(items["c"], h5.Dataset)
+
+    def test_require_group(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            g = f.require_group("g")
+            g2 = f.require_group("g")
+            assert g.name == g2.name
+            f.create_dataset("d", data=[1])
+            with pytest.raises(H5Error):
+                f.require_group("d")
+
+    def test_hyperslab_write_read(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            d = f.create_dataset("m", shape=(6, 6), dtype=h5.FLOAT64)
+            d.write(np.ones((3, 3)), file_select=h5.hyperslab((1, 1), (3, 3)))
+            block = d.read(h5.hyperslab((0, 0), (3, 3)))
+            assert block[0, 0] == 0 and block[1, 1] == 1
+
+    def test_getitem_setitem_slicing(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            d = f.create_dataset("m", shape=(4, 4), dtype="i8")
+            d[1:3, 1:3] = [[1, 2], [3, 4]]
+            np.testing.assert_array_equal(d[1:3, 1:3], [[1, 2], [3, 4]])
+            np.testing.assert_array_equal(d[2, 1:3], [3, 4])
+            assert d[..., ] .shape == (4, 4)
+
+    def test_negative_index(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            d = f.create_dataset("v", data=np.arange(5))
+            assert d[-1,] if False else True
+            assert d[(-1,)] == 4
+
+    def test_attrs_mapping(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            f.attrs["run"] = 12
+            g = f.create_group("g")
+            g.attrs["origin"] = np.array([0.0, 1.0])
+            assert "run" in f.attrs
+            assert f.attrs.keys() == ["run"]
+            assert len(g.attrs) == 1
+        with h5.File("a.h5", "r", vol=vol) as f:
+            assert f.attrs["run"] == 12
+            np.testing.assert_array_equal(f["g"].attrs["origin"], [0.0, 1.0])
+
+    def test_mode_enforcement(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            f.create_dataset("d", data=[1])
+        with h5.File("a.h5", "r", vol=vol) as f:
+            with pytest.raises(ModeError):
+                f["d"].write([2])
+
+    def test_exclusive_create(self, vol):
+        h5.File("a.h5", "x", vol=vol).close()
+        with pytest.raises(ExistsError):
+            h5.File("a.h5", "x", vol=vol)
+
+    def test_open_missing_raises(self, vol):
+        with pytest.raises(NotFoundError):
+            h5.File("missing.h5", "r", vol=vol)
+
+    def test_bad_mode(self, vol):
+        with pytest.raises(H5Error):
+            h5.File("a.h5", "q", vol=vol)
+
+    def test_double_close(self, vol):
+        f = h5.File("a.h5", "w", vol=vol)
+        f.close()
+        with pytest.raises(ClosedError):
+            f.close()
+
+    def test_append_mode_reopens(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            f.create_dataset("d", data=[1, 2])
+        with h5.File("a.h5", "a", vol=vol) as f:
+            f.create_dataset("e", data=[3])
+        with h5.File("a.h5", "r", vol=vol) as f:
+            assert sorted(f.keys()) == ["d", "e"]
+
+    def test_truncate_on_w(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            f.create_dataset("old", data=[1])
+        with h5.File("a.h5", "w", vol=vol) as f:
+            f.create_dataset("new", data=[2])
+        with h5.File("a.h5", "r", vol=vol) as f:
+            assert f.keys() == ["new"]
+
+    def test_fill_value_dcpl(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            f.create_dataset("d", shape=(3,), dtype="i4",
+                             dcpl=DatasetCreateProps(fill_value=9))
+        with h5.File("a.h5", "r", vol=vol) as f:
+            np.testing.assert_array_equal(f["d"].read(), [9, 9, 9])
+
+    def test_create_dataset_conflicting_type(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            f.create_dataset("d", shape=(3,), dtype="i4")
+            with pytest.raises(ExistsError):
+                f.create_dataset("d", shape=(3,), dtype="f8")
+
+    def test_create_dataset_needs_shape(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            with pytest.raises(H5Error):
+                f.create_dataset("d")
+
+    def test_write_size_mismatch(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            d = f.create_dataset("d", shape=(4,), dtype="i4")
+            with pytest.raises(SelectionError):
+                d.write([1, 2, 3])
+
+    def test_compound_dataset(self, vol):
+        ptype = h5.compound([("pos", "3f4"), ("id", "u8")])
+        with h5.File("a.h5", "w", vol=vol) as f:
+            d = f.create_dataset("p", shape=(4,), dtype=ptype)
+            vals = np.zeros(4, dtype=ptype.np)
+            vals["id"] = np.arange(4)
+            d.write(vals)
+        with h5.File("a.h5", "r", vol=vol) as f:
+            out = f["p"].read()
+            np.testing.assert_array_equal(out["id"], np.arange(4))
+
+    def test_points_selection_io(self, vol):
+        with h5.File("a.h5", "w", vol=vol) as f:
+            d = f.create_dataset("d", shape=(5,), dtype="i4")
+            d.write([10, 30], file_select=h5.points([1, 3]))
+            np.testing.assert_array_equal(d.read(), [0, 10, 0, 30, 0])
+
+
+class TestParallel:
+    def test_collective_write_then_separate_read(self):
+        """N writer ranks, then a fresh read from the stored bytes."""
+        store = PFSStore()
+
+        def producer(comm):
+            vol = producer.vol
+            f = h5.File("out.h5", "w", comm=comm, vol=vol)
+            d = f.create_dataset("grid", shape=(8, 8), dtype=h5.UINT64)
+            rows = 8 // comm.size
+            start = comm.rank * rows
+            block = np.arange(rows * 8, dtype=np.uint64) + 1000 * comm.rank
+            d.write(block, file_select=h5.hyperslab((start, 0), (rows, 8)))
+            f.attrs["step"] = 1
+            f.close()
+
+        producer.vol = NativeVOL(store)
+        run_world(4, producer)
+
+        # Fresh VOL instance simulating a different task reading the file.
+        f = h5.File("out.h5", "r", vol=NativeVOL(store))
+        grid = f["grid"].read()
+        for r in range(4):
+            np.testing.assert_array_equal(
+                grid[2 * r: 2 * r + 2].ravel(),
+                np.arange(16, dtype=np.uint64) + 1000 * r,
+            )
+        assert f.attrs["step"] == 1
+        f.close()
+
+    def test_parallel_io_charges_lustre_time(self):
+        store = PFSStore()
+        vol = NativeVOL(store)
+
+        def main(comm):
+            f = h5.File("o.h5", "w", comm=comm, vol=vol)
+            d = f.create_dataset("d", shape=(4,), dtype="f8")
+            d.write([float(comm.rank)],
+                    file_select=h5.hyperslab((comm.rank,), (1,)))
+            f.close()
+
+        res = run_world(4, main)
+        # Collective open dominates: open_base=8s plus mds serialization.
+        assert res.vtime > vol.lustre.open_time(4)
+
+    def test_independent_write_costs_more(self):
+        def run(collective):
+            store = PFSStore()
+            vol = NativeVOL(store)
+
+            def main(comm):
+                f = h5.File("o.h5", "w", comm=comm, vol=vol)
+                d = f.create_dataset("d", shape=(4 * 10**6,), dtype="f8")
+                n = 10**6
+                d.write(
+                    np.zeros(n),
+                    file_select=h5.hyperslab((comm.rank * n,), (n,)),
+                    dxpl=TransferProps(collective=collective),
+                )
+                f.close()
+
+            return run_world(4, main).vtime
+
+        assert run(False) > run(True)
+
+    def test_collective_creates_are_idempotent_across_ranks(self):
+        store = PFSStore()
+        vol = NativeVOL(store)
+
+        def main(comm):
+            f = h5.File("o.h5", "w", comm=comm, vol=vol)
+            g = f.create_group("g")  # every rank creates the same group
+            d = g.create_dataset("d", shape=(4,), dtype="i4")
+            d.write([comm.rank], file_select=h5.hyperslab((comm.rank,), (1,)))
+            f.close()
+
+        run_world(4, main)
+        f = h5.File("o.h5", "r", vol=NativeVOL(store))
+        np.testing.assert_array_equal(f["g/d"].read(), [0, 1, 2, 3])
+        f.close()

@@ -1,0 +1,124 @@
+"""Chunked-layout tests: creation, roundtrip, and the cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.h5 as h5
+from repro.h5.errors import SelectionError
+from repro.h5.native import NativeVOL
+from repro.h5.objects import DatasetNode
+from repro.h5.dataspace import Dataspace
+from repro.h5.selection import (
+    AllSelection,
+    HyperslabSelection,
+    PointSelection,
+    chunks_touched,
+)
+from repro.simmpi import run_world
+
+
+class TestChunksTouched:
+    def test_whole_dataset(self):
+        sel = AllSelection((8, 8))
+        assert chunks_touched(sel, (4, 4)) == 4
+        assert chunks_touched(sel, (8, 8)) == 1
+        assert chunks_touched(sel, (3, 3)) == 9
+
+    def test_single_chunk_box(self):
+        sel = HyperslabSelection((8, 8), (0, 0), (4, 4))
+        assert chunks_touched(sel, (4, 4)) == 1
+
+    def test_straddling_box(self):
+        sel = HyperslabSelection((8, 8), (2, 2), (4, 4))
+        assert chunks_touched(sel, (4, 4)) == 4
+
+    def test_strided_selection(self):
+        sel = HyperslabSelection((16,), 0, 4, stride=4)  # 0,4,8,12
+        assert chunks_touched(sel, (4,)) == 4
+        assert chunks_touched(sel, (8,)) == 2
+
+    def test_points(self):
+        sel = PointSelection((8, 8), [(0, 0), (0, 1), (7, 7)])
+        assert chunks_touched(sel, (4, 4)) == 2
+
+    def test_empty(self):
+        from repro.h5.selection import NoneSelection
+
+        assert chunks_touched(NoneSelection((4,)), (2,)) == 0
+
+    def test_validation(self):
+        with pytest.raises(SelectionError):
+            chunks_touched(AllSelection((4,)), (0,))
+        with pytest.raises(SelectionError):
+            chunks_touched(AllSelection((4,)), (2, 2))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(1, 5),
+           st.integers(1, 5))
+    def test_prop_matches_bruteforce(self, rows, cols, c0, c1):
+        sel = AllSelection((rows, cols))
+        got = chunks_touched(sel, (c0, c1))
+        brute = {(x // c0, y // c1) for x in range(rows)
+                 for y in range(cols)}
+        assert got == len(brute)
+
+
+class TestChunkedDataset:
+    def test_create_validates_chunk_shape(self):
+        with pytest.raises(SelectionError):
+            DatasetNode("d", h5.FLOAT64, Dataspace((4, 4)), chunks=(4,))
+        with pytest.raises(SelectionError):
+            DatasetNode("d", h5.FLOAT64, Dataspace((4,)), chunks=(0,))
+
+    def test_roundtrip_through_file(self):
+        vol = NativeVOL()
+        with h5.File("c.h5", "w", vol=vol) as f:
+            f.create_dataset("d", shape=(8, 8), dtype="f8", chunks=(2, 4))
+        with h5.File("c.h5", "r", vol=vol) as f:
+            assert f["d"]._token.node.chunks == (2, 4)
+
+    def test_unchunked_default(self):
+        vol = NativeVOL()
+        with h5.File("c.h5", "w", vol=vol) as f:
+            f.create_dataset("d", shape=(4,), dtype="i1")
+            assert f["d"]._token.node.chunks is None
+
+    def test_data_roundtrip_same_as_contiguous(self):
+        vol = NativeVOL()
+        with h5.File("c.h5", "w", vol=vol) as f:
+            d = f.create_dataset("d", shape=(6, 6), dtype="i8",
+                                 chunks=(3, 3))
+            d.write(np.arange(36))
+        with h5.File("c.h5", "r", vol=vol) as f:
+            np.testing.assert_array_equal(
+                f["d"].read().reshape(-1), np.arange(36)
+            )
+
+
+class TestChunkCosts:
+    def _write_time(self, chunks, start):
+        vol = NativeVOL()
+
+        def main(comm):
+            f = h5.File("c.h5", "w", comm=comm, vol=vol)
+            d = f.create_dataset("d", shape=(64, 64), dtype="f8",
+                                 chunks=chunks)
+            t0 = comm.vtime
+            d.write(np.zeros(16 * 16),
+                    file_select=h5.hyperslab(start, (16, 16)))
+            dt = comm.vtime - t0
+            f.close()
+            return dt
+
+        return run_world(2, main).returns[0]
+
+    def test_aligned_write_cheaper_than_straddling(self):
+        aligned = self._write_time((16, 16), (16, 16))    # exactly 1 chunk
+        straddle = self._write_time((16, 16), (8, 8))     # 4 partial chunks
+        assert straddle > aligned
+
+    def test_fine_chunks_cost_more_metadata(self):
+        coarse = self._write_time((16, 16), (0, 0))
+        fine = self._write_time((2, 2), (0, 0))  # 64 chunks touched
+        assert fine > coarse

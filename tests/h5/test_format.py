@@ -1,0 +1,168 @@
+"""Binary file format roundtrip tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.h5 as h5
+from repro.h5 import format as h5format
+from repro.h5.dataspace import Dataspace
+from repro.h5.errors import H5Error
+from repro.h5.objects import DatasetNode, FileNode, GroupNode
+from repro.h5.selection import (
+    AllSelection,
+    HyperslabSelection,
+    IndexSetSelection,
+    NoneSelection,
+    PointSelection,
+)
+
+
+def roundtrip(root):
+    return h5format.decode_file(h5format.encode_file(root), root.name)
+
+
+def test_empty_file():
+    root = FileNode("empty.h5")
+    out = roundtrip(root)
+    assert out.name == "empty.h5"
+    assert out.children == {}
+
+
+def test_header_validation():
+    with pytest.raises(H5Error):
+        h5format.decode_file(b"short")
+    blob = bytearray(h5format.encode_file(FileNode("x")))
+    blob[0:4] = b"XXXX"
+    with pytest.raises(H5Error):
+        h5format.decode_file(bytes(blob))
+
+
+def test_version_check():
+    blob = bytearray(h5format.encode_file(FileNode("x")))
+    blob[8:12] = (99).to_bytes(4, "little")
+    with pytest.raises(H5Error):
+        h5format.decode_file(bytes(blob))
+
+
+def test_groups_and_nesting():
+    root = FileNode("f")
+    a = root.add_child(GroupNode("a"))
+    a.add_child(GroupNode("inner"))
+    root.add_child(GroupNode("b"))
+    out = roundtrip(root)
+    assert sorted(out.children) == ["a", "b"]
+    assert out.lookup("a/inner").path == "/a/inner"
+
+
+def test_dataset_pieces_and_data():
+    root = FileNode("f")
+    g = root.add_child(GroupNode("g"))
+    d = g.add_child(DatasetNode("grid", h5.UINT64, Dataspace((4, 4))))
+    d.write(HyperslabSelection((4, 4), (0, 0), (2, 4)), np.arange(8))
+    d.write(HyperslabSelection((4, 4), (2, 0), (2, 4)), np.arange(8) + 8)
+    out = roundtrip(root)
+    dd = out.lookup("g/grid")
+    assert dd.dtype == h5.UINT64
+    assert dd.space.shape == (4, 4)
+    assert len(dd.pieces) == 2
+    np.testing.assert_array_equal(
+        dd.read(AllSelection((4, 4))), np.arange(16)
+    )
+
+
+def test_fill_value_preserved():
+    root = FileNode("f")
+    d = root.add_child(
+        DatasetNode("d", h5.INT32, Dataspace((3,)), fill_value=-5)
+    )
+    out = roundtrip(root)
+    dd = out.lookup("d")
+    np.testing.assert_array_equal(dd.read(AllSelection((3,))), [-5] * 3)
+
+
+def test_compound_dataset_roundtrip():
+    ptype = h5.compound([("x", "f4"), ("y", "f4"), ("z", "f4")])
+    root = FileNode("f")
+    d = root.add_child(DatasetNode("particles", ptype, Dataspace((5,))))
+    vals = np.zeros(5, dtype=ptype.np)
+    vals["x"] = np.arange(5)
+    d.write(AllSelection((5,)), vals)
+    out = roundtrip(root)
+    got = out.lookup("particles").read(AllSelection((5,)))
+    np.testing.assert_array_equal(got["x"], np.arange(5, dtype="f4"))
+
+
+def test_attributes_roundtrip():
+    root = FileNode("f")
+    a = root.create_attribute("time", h5.FLOAT64, Dataspace(()))
+    a.write(1.5)
+    g = root.add_child(GroupNode("g"))
+    b = g.create_attribute("origin", h5.INT32, Dataspace((2,)))
+    b.write([3, 4])
+    unwritten = root.create_attribute("later", h5.INT8, Dataspace(()))
+    out = roundtrip(root)
+    assert float(out.get_attribute("time").read()) == 1.5
+    np.testing.assert_array_equal(
+        out.lookup("g").get_attribute("origin").read(), [3, 4]
+    )
+    assert out.get_attribute("later").value is None
+
+
+SELS = [
+    AllSelection((4, 6)),
+    NoneSelection((4, 6)),
+    HyperslabSelection((4, 6), (1, 2), (2, 2)),
+    HyperslabSelection((4, 6), (0, 0), (2, 2), stride=(2, 3), block=(1, 2)),
+    IndexSetSelection((4, 6), [[0, 2], [1, 3, 5]]),
+    PointSelection((4, 6), [(3, 5), (0, 0)]),
+]
+
+
+@pytest.mark.parametrize("sel", SELS, ids=lambda s: type(s).__name__)
+def test_selection_codec_roundtrip(sel):
+    w = h5format.Writer()
+    h5format.encode_selection(w, sel)
+    out = h5format.decode_selection(h5format.Reader(w.getvalue()))
+    assert out.shape == sel.shape
+    assert out.same_elements(sel)
+    if isinstance(sel, PointSelection):  # order must survive
+        np.testing.assert_array_equal(out.coords(), sel.coords())
+
+
+def test_writer_reader_primitives():
+    w = h5format.Writer()
+    w.u8(7)
+    w.u32(70000)
+    w.u64(2**40)
+    w.i64(-12)
+    w.text("héllo")
+    w.blob(b"raw")
+    r = h5format.Reader(w.getvalue())
+    assert r.u8() == 7
+    assert r.u32() == 70000
+    assert r.u64() == 2**40
+    assert r.i64() == -12
+    assert r.text() == "héllo"
+    assert r.blob() == b"raw"
+
+
+def test_reader_truncation_raises():
+    r = h5format.Reader(b"\x01")
+    with pytest.raises(H5Error):
+        r.u64()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 2**32), min_size=0, max_size=64))
+def test_prop_dataset_values_roundtrip(values):
+    root = FileNode("f")
+    n = max(1, len(values))
+    d = root.add_child(DatasetNode("d", h5.UINT64, Dataspace((n,))))
+    if values:
+        d.write(AllSelection((n,)), np.array(values, dtype=np.uint64))
+    out = roundtrip(root).lookup("d")
+    if values:
+        np.testing.assert_array_equal(
+            out.read(AllSelection((n,))), np.array(values, dtype=np.uint64)
+        )

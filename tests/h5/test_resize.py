@@ -1,0 +1,162 @@
+"""Resizable-dataset tests (maxshape / resize, HDF5 semantics)."""
+
+import numpy as np
+import pytest
+
+import repro.h5 as h5
+from repro.h5.dataspace import UNLIMITED, Dataspace
+from repro.h5.errors import ModeError, SelectionError
+from repro.h5.native import NativeVOL
+from repro.lowfive import DistMetadataVOL, MetadataVOL
+from repro.pfs import PFSStore
+from repro.synth import grid_values, producer_grid_selection, validate_grid
+from repro.workflow import Workflow
+
+
+class TestDataspaceMaxshape:
+    def test_default_fixed(self):
+        sp = Dataspace((3, 4))
+        assert sp.maxshape == (3, 4)
+        assert not sp.resizable
+
+    def test_unlimited(self):
+        sp = Dataspace((3, 4), maxshape=(UNLIMITED, 4))
+        assert sp.resizable
+        grown = sp.resized((100, 4))
+        assert grown.shape == (100, 4)
+        assert grown.maxshape == (UNLIMITED, 4)
+
+    def test_bounded_growth(self):
+        sp = Dataspace((2,), maxshape=(5,))
+        assert sp.resized((5,)).shape == (5,)
+        with pytest.raises(SelectionError):
+            sp.resized((6,))
+
+    def test_rank_change_rejected(self):
+        with pytest.raises(SelectionError):
+            Dataspace((2,), maxshape=(2, 2))
+        with pytest.raises(SelectionError):
+            Dataspace((2, 2), maxshape=(2, 2)).resized((4,))
+
+    def test_maxshape_below_shape_rejected(self):
+        with pytest.raises(SelectionError):
+            Dataspace((5,), maxshape=(3,))
+
+    def test_encode_decode_keeps_maxshape(self):
+        sp = Dataspace((2, 3), maxshape=(UNLIMITED, 3))
+        assert Dataspace.decode(sp.encode()) == sp
+
+    def test_fixed_space_resize_rejected(self):
+        sp = Dataspace((4,))
+        with pytest.raises(SelectionError):
+            sp.resized((5,))
+
+
+class TestDatasetResize:
+    def test_grow_preserves_data(self):
+        with h5.File("a.h5", "w") as f:
+            d = f.create_dataset("d", shape=(2,), dtype="i8",
+                                 maxshape=(UNLIMITED,))
+            d.write([1, 2])
+            d.resize((4,))
+            np.testing.assert_array_equal(d.read(), [1, 2, 0, 0])
+            d.write([3, 4], file_select=h5.hyperslab((2,), (2,)))
+            np.testing.assert_array_equal(d.read(), [1, 2, 3, 4])
+
+    def test_shrink_discards_outside(self):
+        with h5.File("a.h5", "w") as f:
+            d = f.create_dataset("d", data=np.arange(6),
+                                 maxshape=(UNLIMITED,))
+            d.resize((3,))
+            assert d.shape == (3,)
+            np.testing.assert_array_equal(d.read(), [0, 1, 2])
+
+    def test_shrink_clips_straddling_piece(self):
+        with h5.File("a.h5", "w") as f:
+            d = f.create_dataset("d", shape=(4, 4), dtype="i8",
+                                 maxshape=(UNLIMITED, 4))
+            d.write(np.arange(8), file_select=h5.hyperslab((1, 0), (2, 4)))
+            d.resize((2, 4))
+            out = d.read()
+            np.testing.assert_array_equal(out[1], [0, 1, 2, 3])
+            np.testing.assert_array_equal(out[0], [0, 0, 0, 0])
+
+    def test_shrink_then_regrow_stays_discarded(self):
+        with h5.File("a.h5", "w") as f:
+            d = f.create_dataset("d", data=np.arange(4),
+                                 maxshape=(UNLIMITED,))
+            d.resize((2,))
+            d.resize((4,))
+            np.testing.assert_array_equal(d.read(), [0, 1, 0, 0])
+
+    def test_resize_persists_through_file(self):
+        vol = NativeVOL()
+        with h5.File("a.h5", "w", vol=vol) as f:
+            d = f.create_dataset("d", data=[1, 2], maxshape=(UNLIMITED,))
+            d.resize((3,))
+        with h5.File("a.h5", "r", vol=vol) as f:
+            assert f["d"].shape == (3,)
+            assert f["d"].maxshape == (UNLIMITED,)
+
+    def test_resize_readonly_rejected(self):
+        vol = NativeVOL()
+        with h5.File("a.h5", "w", vol=vol) as f:
+            f.create_dataset("d", data=[1], maxshape=(UNLIMITED,))
+        with h5.File("a.h5", "r", vol=vol) as f:
+            with pytest.raises(ModeError):
+                f["d"].resize((2,))
+
+    def test_resize_in_memory_mode(self):
+        vol = MetadataVOL(under=NativeVOL(PFSStore()))
+        vol.set_memory("*")
+        with h5.File("m.h5", "w", vol=vol) as f:
+            d = f.create_dataset("d", data=[5], maxshape=(UNLIMITED,))
+            d.resize((2,))
+            np.testing.assert_array_equal(d.read(), [5, 0])
+
+
+class TestResizeInSitu:
+    def test_producer_resizes_before_close(self):
+        """A grown dataset redistributes correctly in situ."""
+        final_shape = (8, 4)
+
+        def producer(ctx):
+            def mk():
+                vol = DistMetadataVOL(comm=ctx.comm,
+                                      under=NativeVOL(PFSStore()))
+                vol.set_memory("r.h5")
+                vol.serve_on_close("r.h5", ctx.intercomm("consumer"))
+                return vol
+
+            vol = ctx.singleton("vol", mk)
+            f = h5.File("r.h5", "w", comm=ctx.comm, vol=vol)
+            d = f.create_dataset("d", shape=(4, 4), dtype="u8",
+                                 maxshape=(UNLIMITED, 4))
+            d.resize(final_shape)
+            sel = producer_grid_selection(final_shape, ctx.rank, ctx.size)
+            d.write(grid_values(sel, final_shape), file_select=sel)
+            f.close()
+
+        def consumer(ctx):
+            def mk():
+                vol = DistMetadataVOL(comm=ctx.comm,
+                                      under=NativeVOL(PFSStore()))
+                vol.set_memory("r.h5")
+                vol.set_consumer("r.h5", ctx.intercomm("producer"))
+                return vol
+
+            vol = ctx.singleton("vol", mk)
+            f = h5.File("r.h5", "r", comm=ctx.comm, vol=vol)
+            d = f["d"]
+            assert d.shape == final_shape
+            vals = d.read(reshape=False)
+            f.close()
+            return validate_grid(h5.AllSelection(final_shape),
+                                 final_shape, vals)
+
+        wf = Workflow()
+        wf.add_task("producer", 2, producer)
+        wf.add_task("consumer", 1, consumer)
+        wf.add_link("producer", "consumer")
+        res = wf.run()
+        assert res.returns["consumer"] == [True]

@@ -1,0 +1,330 @@
+"""Selection algebra tests, including hypothesis property tests.
+
+The intersection machinery here is the core of LowFive's redistribution
+(producer-written selections x consumer-read selections), so it gets the
+heaviest property coverage.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.h5.errors import SelectionError
+from repro.h5.selection import (
+    AllSelection,
+    HyperslabSelection,
+    IndexSetSelection,
+    NoneSelection,
+    PointSelection,
+    bind_selection,
+    hyperslab,
+    points,
+    select_all,
+)
+
+
+class TestBasics:
+    def test_all_selection(self):
+        s = AllSelection((3, 4))
+        assert s.npoints == 12
+        assert s.is_separable
+        lo, hi = s.bounds()
+        assert list(lo) == [0, 0] and list(hi) == [3, 4]
+
+    def test_none_selection(self):
+        s = NoneSelection((3, 4))
+        assert s.npoints == 0
+        assert s.coords().shape == (0, 2)
+
+    def test_hyperslab_simple(self):
+        s = HyperslabSelection((10, 10), start=(2, 3), count=(4, 5))
+        assert s.npoints == 20
+        lo, hi = s.bounds()
+        assert list(lo) == [2, 3] and list(hi) == [6, 8]
+        assert s.is_contiguous
+
+    def test_hyperslab_stride_block(self):
+        # 3 blocks of 2, stride 4: indices 0,1, 4,5, 8,9
+        s = HyperslabSelection((12,), start=0, count=3, stride=4, block=2)
+        np.testing.assert_array_equal(
+            s.per_dim_indices()[0], [0, 1, 4, 5, 8, 9]
+        )
+        assert s.npoints == 6
+        assert not s.is_contiguous
+
+    def test_hyperslab_validation(self):
+        with pytest.raises(SelectionError):
+            HyperslabSelection((4,), start=0, count=5)  # too long
+        with pytest.raises(SelectionError):
+            HyperslabSelection((10,), start=0, count=2, stride=2, block=3)
+        with pytest.raises(SelectionError):
+            HyperslabSelection((10,), start=-1, count=1)
+        with pytest.raises(SelectionError):
+            HyperslabSelection((10, 10), start=(0,), count=(1,))
+
+    def test_point_selection_order_preserved(self):
+        s = PointSelection((5, 5), [(4, 4), (0, 0), (2, 3)])
+        np.testing.assert_array_equal(s.coords(), [[4, 4], [0, 0], [2, 3]])
+
+    def test_point_selection_validation(self):
+        with pytest.raises(SelectionError):
+            PointSelection((3, 3), [(3, 0)])
+        with pytest.raises(SelectionError):
+            PointSelection((3, 3), [(0, 0, 0)])
+
+    def test_index_set_sorts_and_dedups(self):
+        s = IndexSetSelection((10,), [[3, 1, 3, 7]])
+        np.testing.assert_array_equal(s.per_dim_indices()[0], [1, 3, 7])
+
+
+class TestExtractScatter:
+    def test_extract_contiguous_box(self):
+        arr = np.arange(20).reshape(4, 5)
+        s = HyperslabSelection((4, 5), (1, 1), (2, 3))
+        np.testing.assert_array_equal(
+            s.extract(arr), [6, 7, 8, 11, 12, 13]
+        )
+
+    def test_extract_strided(self):
+        arr = np.arange(10)
+        s = HyperslabSelection((10,), 0, 5, stride=2)
+        np.testing.assert_array_equal(s.extract(arr), [0, 2, 4, 6, 8])
+
+    def test_scatter_roundtrip(self):
+        arr = np.zeros((6, 6), dtype=int)
+        s = HyperslabSelection((6, 6), (0, 0), (3, 2), stride=(2, 3))
+        vals = np.arange(s.npoints) + 100
+        s.scatter(vals, arr)
+        np.testing.assert_array_equal(s.extract(arr), vals)
+        # Only selected cells were touched.
+        assert (arr != 0).sum() == s.npoints
+
+    def test_extract_points(self):
+        arr = np.arange(9).reshape(3, 3)
+        s = PointSelection((3, 3), [(2, 2), (0, 1)])
+        np.testing.assert_array_equal(s.extract(arr), [8, 1])
+
+    def test_scatter_points(self):
+        arr = np.zeros(5, dtype=int)
+        s = PointSelection((5,), [3, 1])
+        s.scatter([30, 10], arr)
+        np.testing.assert_array_equal(arr, [0, 10, 0, 30, 0])
+
+    def test_shape_mismatch_raises(self):
+        s = AllSelection((3, 3))
+        with pytest.raises(SelectionError):
+            s.extract(np.zeros((2, 2)))
+        with pytest.raises(SelectionError):
+            s.scatter(np.zeros(9), np.zeros((2, 2)))
+
+    def test_scatter_wrong_count_raises(self):
+        s = AllSelection((2, 2))
+        with pytest.raises(SelectionError):
+            s.scatter(np.zeros(3), np.zeros((2, 2)))
+
+    def test_extract_row_major_order(self):
+        arr = np.arange(16).reshape(4, 4)
+        s = HyperslabSelection((4, 4), (1, 1), (2, 2))
+        np.testing.assert_array_equal(s.extract(arr), [5, 6, 9, 10])
+
+
+class TestIntersect:
+    def test_disjoint(self):
+        a = HyperslabSelection((10,), 0, 3)
+        b = HyperslabSelection((10,), 5, 3)
+        assert isinstance(a.intersect(b), NoneSelection)
+
+    def test_overlap_becomes_hyperslab(self):
+        a = HyperslabSelection((10, 10), (0, 0), (6, 6))
+        b = HyperslabSelection((10, 10), (4, 4), (6, 6))
+        c = a.intersect(b)
+        assert isinstance(c, HyperslabSelection)
+        lo, hi = c.bounds()
+        assert list(lo) == [4, 4] and list(hi) == [6, 6]
+
+    def test_strided_intersection_exact(self):
+        a = HyperslabSelection((20,), 0, 10, stride=2)  # evens
+        b = HyperslabSelection((20,), 0, 7, stride=3)   # multiples of 3
+        c = a.intersect(b)
+        np.testing.assert_array_equal(
+            c.per_dim_indices()[0], [0, 6, 12, 18]
+        )
+
+    def test_all_is_identity(self):
+        a = HyperslabSelection((8, 8), (2, 2), (3, 3))
+        c = AllSelection((8, 8)).intersect(a)
+        assert c.same_elements(a)
+
+    def test_none_annihilates(self):
+        a = AllSelection((4,))
+        assert isinstance(a.intersect(NoneSelection((4,))), NoneSelection)
+        assert isinstance(NoneSelection((4,)).intersect(a), NoneSelection)
+
+    def test_points_vs_hyperslab(self):
+        pts = PointSelection((6, 6), [(0, 0), (3, 3), (5, 5)])
+        box = HyperslabSelection((6, 6), (2, 2), (3, 3))
+        c = pts.intersect(box)
+        np.testing.assert_array_equal(c.coords(), [[3, 3]])
+        # Symmetric version routes through PointSelection.intersect.
+        c2 = box.intersect(pts)
+        np.testing.assert_array_equal(c2.coords(), [[3, 3]])
+
+    def test_points_vs_points(self):
+        a = PointSelection((9,), [1, 3, 5])
+        b = PointSelection((9,), [5, 1])
+        c = a.intersect(b)
+        np.testing.assert_array_equal(c.coords().ravel(), [1, 5])
+
+    def test_extent_mismatch_raises(self):
+        with pytest.raises(SelectionError):
+            AllSelection((3,)).intersect(AllSelection((4,)))
+
+
+class TestTranslateAndSimplify:
+    def test_translate_hyperslab(self):
+        s = HyperslabSelection((10, 10), (4, 6), (2, 2))
+        t = s.translate((4, 6), (2, 2))
+        lo, hi = t.bounds()
+        assert list(lo) == [0, 0] and list(hi) == [2, 2]
+
+    def test_translate_out_of_extent_raises(self):
+        s = HyperslabSelection((10,), 0, 2)
+        with pytest.raises(SelectionError):
+            s.translate((1,), (2,))
+
+    def test_translate_points(self):
+        s = PointSelection((8, 8), [(4, 4), (5, 6)])
+        t = s.translate((4, 4), (4, 4))
+        np.testing.assert_array_equal(t.coords(), [[0, 0], [1, 2]])
+
+    def test_indexset_simplify_to_hyperslab(self):
+        s = IndexSetSelection((10, 10), [[2, 3, 4], [7, 8]])
+        simp = s.simplify()
+        assert isinstance(simp, HyperslabSelection)
+        assert simp.start == (2, 7) and simp.count == (3, 2)
+
+    def test_indexset_simplify_noncontiguous_stays(self):
+        s = IndexSetSelection((10,), [[1, 3, 5]])
+        assert s.simplify() is s
+
+    def test_indexset_simplify_empty_to_none(self):
+        s = IndexSetSelection((10, 10), [[1], []])
+        assert isinstance(s.simplify(), NoneSelection)
+
+
+class TestSpecs:
+    def test_bind_none_gives_all(self):
+        s = bind_selection(None, (3, 3))
+        assert isinstance(s, AllSelection)
+
+    def test_bind_specs(self):
+        assert bind_selection(select_all(), (4,)).npoints == 4
+        hs = bind_selection(hyperslab(1, 2), (4,))
+        assert hs.npoints == 2
+        ps = bind_selection(points([0, 3]), (4,))
+        assert ps.npoints == 2
+
+    def test_bind_bound_selection_checks_extent(self):
+        s = AllSelection((4,))
+        assert bind_selection(s, (4,)) is s
+        with pytest.raises(SelectionError):
+            bind_selection(s, (5,))
+
+    def test_bind_garbage_raises(self):
+        with pytest.raises(SelectionError):
+            bind_selection(42, (4,))
+
+
+# -- hypothesis strategies ---------------------------------------------------
+
+dims = st.integers(min_value=1, max_value=3)
+
+
+@st.composite
+def shapes(draw, max_extent=12):
+    nd = draw(dims)
+    return tuple(
+        draw(st.integers(min_value=1, max_value=max_extent))
+        for _ in range(nd)
+    )
+
+
+@st.composite
+def hyperslabs(draw, shape):
+    start, count, stride, block = [], [], [], []
+    for extent in shape:
+        b = draw(st.integers(min_value=1, max_value=max(1, extent // 2)))
+        stv = draw(st.integers(min_value=b, max_value=max(b, extent)))
+        max_count = (extent - b) // stv + 1
+        c = draw(st.integers(min_value=1, max_value=max_count))
+        s = draw(st.integers(min_value=0,
+                             max_value=extent - ((c - 1) * stv + b)))
+        start.append(s)
+        count.append(c)
+        stride.append(stv)
+        block.append(b)
+    return HyperslabSelection(shape, start, count, stride, block)
+
+
+@st.composite
+def two_hyperslabs(draw):
+    shape = draw(shapes())
+    return draw(hyperslabs(shape)), draw(hyperslabs(shape))
+
+
+@settings(max_examples=120, deadline=None)
+@given(two_hyperslabs())
+def test_prop_intersection_matches_bruteforce(pair):
+    a, b = pair
+    got = {tuple(c) for c in a.intersect(b).coords()}
+    want = {tuple(c) for c in a.coords()} & {tuple(c) for c in b.coords()}
+    assert got == want
+
+
+@settings(max_examples=120, deadline=None)
+@given(two_hyperslabs())
+def test_prop_intersection_commutative(pair):
+    a, b = pair
+    assert a.intersect(b).same_elements(b.intersect(a))
+
+
+@settings(max_examples=80, deadline=None)
+@given(two_hyperslabs())
+def test_prop_intersection_subset_of_both(pair):
+    a, b = pair
+    c = a.intersect(b)
+    assert c.same_elements(c.intersect(a))
+    assert c.same_elements(c.intersect(b))
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_prop_extract_scatter_roundtrip(data):
+    shape = data.draw(shapes())
+    sel = data.draw(hyperslabs(shape))
+    arr = np.zeros(shape, dtype=np.int64)
+    vals = np.arange(1, sel.npoints + 1)
+    sel.scatter(vals, arr)
+    np.testing.assert_array_equal(sel.extract(arr), vals)
+    assert int((arr != 0).sum()) == sel.npoints
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_prop_extract_order_is_row_major(data):
+    shape = data.draw(shapes())
+    sel = data.draw(hyperslabs(shape))
+    # Encode position in values; extraction must walk coords row-major.
+    arr = np.arange(np.prod(shape), dtype=np.int64).reshape(shape)
+    flat_ids = np.ravel_multi_index(sel.coords().T, shape)
+    np.testing.assert_array_equal(sel.extract(arr), flat_ids)
+    assert (np.diff(flat_ids) > 0).all()  # row-major => strictly increasing
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_prop_npoints_consistent_with_coords(data):
+    shape = data.draw(shapes())
+    sel = data.draw(hyperslabs(shape))
+    assert sel.npoints == len(sel.coords())
+    assert sel.npoints == len({tuple(c) for c in sel.coords()})

@@ -1,0 +1,74 @@
+"""Memory-footprint model tests (the paper's 'three copies' discussion)."""
+
+import pytest
+
+from repro.perfmodel.memory import (
+    bredala_footprint,
+    dataspaces_footprint,
+    footprint_table,
+    lowfive_footprint,
+    pure_mpi_footprint,
+)
+
+MB = 10**6
+
+
+class TestLowFive:
+    def test_zero_copy_one_copy(self):
+        fp = lowfive_footprint(16 * MB, zero_copy=True)
+        assert fp.copies == 1.0
+        assert fp.bytes == 16 * MB
+
+    def test_deep_copy_two_copies(self):
+        fp = lowfive_footprint(16 * MB)
+        assert fp.copies == 2.0
+
+    def test_nyx_repack_three_copies(self):
+        """Paper Sec. IV-C: "up to three copies of the same data (one
+        native, one repacked, and one in LowFive)"."""
+        fp = lowfive_footprint(16 * MB, repack=True)
+        assert fp.copies == 3.0
+        labels = [l for l, _ in fp.breakdown]
+        assert labels == ["native", "repacked", "lowfive (deep copy)"]
+
+    def test_zero_copy_with_repack_rejected(self):
+        with pytest.raises(ValueError):
+            lowfive_footprint(MB, zero_copy=True, repack=True)
+
+    def test_file_mode_no_transport_copy(self):
+        fp = lowfive_footprint(MB, file_mode=True)
+        assert fp.copies == 1.0
+
+
+class TestBaselines:
+    def test_pure_mpi_stages_a_copy(self):
+        assert pure_mpi_footprint(MB).copies == 2.0
+
+    def test_dataspaces_put_local_in_place(self):
+        """The paper used dspaces_put_local so "the server only
+        maintains indexing metadata" -- no data copy."""
+        assert dataspaces_footprint(MB).copies == 1.0
+        assert dataspaces_footprint(MB, put_local=False).copies == 2.0
+
+    def test_bredala_coordinate_overhead(self):
+        fp = bredala_footprint(MB, ndim=3)
+        assert fp.copies == 5.0  # native + (1 data + 3 coords) staging
+        assert bredala_footprint(MB, ndim=1).copies == 3.0
+
+
+class TestTable:
+    def test_table_orders_lowfive_zero_copy_leanest(self):
+        rows = dict(footprint_table(MB))
+        transports = {
+            k: v for k, v in rows.items() if "file mode" not in k
+        }
+        leanest = min(transports.items(), key=lambda kv: kv[1].copies)
+        assert leanest[0] in ("LowFive zero-copy", "DataSpaces put_local")
+        assert rows["Bredala (bbox policy)"].copies == max(
+            v.copies for v in rows.values()
+        )
+
+    def test_str_rendering(self):
+        fp = lowfive_footprint(MB, repack=True)
+        s = str(fp)
+        assert "3 copies" in s and "repacked" in s

@@ -1,0 +1,69 @@
+"""Lustre cost-model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pfs import LustreModel
+
+
+def test_open_time_grows_with_procs():
+    m = LustreModel()
+    assert m.open_time(4) < m.open_time(64) < m.open_time(1024)
+
+
+def test_close_cheaper_than_open():
+    m = LustreModel()
+    for p in (4, 64, 1024):
+        assert m.close_time(p) < m.open_time(p)
+
+
+def test_aggregate_bandwidth_capped_by_stripes():
+    m = LustreModel(ost_bandwidth=1e9, stripe_count=4, lock_factor=0.0)
+    assert m.aggregate_bandwidth(1) == pytest.approx(4e9)
+    assert m.aggregate_bandwidth(1000) == pytest.approx(4e9)
+
+
+def test_lock_contention_degrades_bandwidth():
+    m = LustreModel()
+    assert m.aggregate_bandwidth(1024) < m.aggregate_bandwidth(8)
+
+
+def test_write_dominates_read():
+    m = LustreModel()
+    nbytes, p = 10**9, 256
+    assert m.write_time(nbytes, p) > m.read_time(nbytes, p)
+
+
+def test_independent_penalty():
+    m = LustreModel()
+    assert m.write_time(10**8, 16, collective=False) > \
+        m.write_time(10**8 * 16, 16, collective=True) / 16 * 2
+
+
+def test_metadata_op_scaling():
+    m = LustreModel()
+    assert m.metadata_op_time(10) == pytest.approx(10 * m.md_small_op)
+
+
+def test_file_io_orders_slower_than_network():
+    """The premise of paper Fig. 5: file mode is 2+ orders of magnitude
+    slower than in situ messaging for the same bytes."""
+    from repro.simmpi import NetworkModel
+
+    lustre = LustreModel()
+    net = NetworkModel()
+    nbytes = 2 * 10**7 * 64  # 64 producers at ~19 MiB each
+    t_file = (lustre.open_time(64) + lustre.write_time(nbytes, 64)
+              + lustre.close_time(64) + lustre.open_time(64)
+              + lustre.read_time(nbytes, 64) + lustre.close_time(64))
+    t_net = net.transfer_time(nbytes // 64, 64)
+    assert t_file > 100 * t_net
+
+
+@given(st.integers(min_value=1, max_value=10**10),
+       st.integers(min_value=1, max_value=1 << 16))
+def test_prop_times_positive_and_monotone(nbytes, p):
+    m = LustreModel()
+    assert m.write_time(nbytes, p) > 0
+    assert m.read_time(nbytes, p) > 0
+    assert m.write_time(nbytes + 10**6, p) >= m.write_time(nbytes, p)

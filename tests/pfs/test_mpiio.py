@@ -1,0 +1,62 @@
+"""Two-phase collective I/O model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pfs import LustreModel
+from repro.pfs.mpiio import TwoPhaseModel
+from repro.simmpi import NetworkModel
+
+
+@pytest.fixture
+def model():
+    return TwoPhaseModel(NetworkModel(), LustreModel())
+
+
+class TestPhases:
+    def test_aggregator_count_capped_by_stripes(self, model):
+        assert model.naggregators(2) == 2
+        assert model.naggregators(1024) == model.lustre.stripe_count
+
+    def test_shuffle_faster_than_write_for_big_data(self, model):
+        # Interconnect bandwidth >> OST bandwidth.
+        nbytes = 10**9
+        assert model.shuffle_time(nbytes, 64) < model.write_time(nbytes, 64)
+
+    def test_total_bounded_by_phase_sum(self, model):
+        nbytes, p = 10**9, 256
+        total = model.collective_write_time(nbytes, p)
+        assert total <= model.shuffle_time(nbytes, p) + \
+            model.write_time(nbytes, p) + 1e-9
+        assert total >= max(model.shuffle_time(nbytes, p),
+                            model.write_time(nbytes, p)) - 1e-9
+
+    def test_pipelining_hides_fast_phase(self, model):
+        """With many rounds, total ~ slow phase, not the sum."""
+        nbytes = 100 * model.cb_buffer * model.lustre.stripe_count
+        total = model.collective_write_time(nbytes, 512)
+        slow = max(model.shuffle_time(nbytes, 512),
+                   model.write_time(nbytes, 512))
+        assert total < 1.1 * slow
+
+
+class TestCollectiveVsIndependent:
+    def test_collective_wins_at_scale(self, model):
+        nbytes = 10**10
+        assert model.collective_write_time(nbytes, 1024) < \
+            model.independent_write_time(nbytes, 1024)
+
+    def test_breakeven_exists(self, model):
+        p = model.breakeven_procs(10**9)
+        assert 1 <= p <= 1 << 15
+        # Beyond breakeven the gap widens.
+        assert model.collective_write_time(10**9, 4 * p) < \
+            model.independent_write_time(10**9, 4 * p)
+
+
+@given(st.integers(1, 10**10), st.integers(1, 1 << 14))
+def test_prop_times_positive_monotone_in_bytes(nbytes, p):
+    m = TwoPhaseModel(NetworkModel(), LustreModel())
+    t1 = m.collective_write_time(nbytes, p)
+    t2 = m.collective_write_time(nbytes + 10**7, p)
+    assert 0 < t1 <= t2

@@ -1,0 +1,94 @@
+"""PFS byte-store tests."""
+
+import threading
+
+import pytest
+
+from repro.pfs import PFSStore
+
+
+def test_create_write_read():
+    s = PFSStore()
+    h = s.create("f")
+    h.pwrite(0, b"hello")
+    assert h.pread(0, 5) == b"hello"
+    assert h.size == 5
+
+
+def test_pwrite_grows_and_zero_fills():
+    s = PFSStore()
+    h = s.create("f")
+    h.pwrite(4, b"xy")
+    assert h.size == 6
+    assert h.pread(0, 6) == b"\0\0\0\0xy"
+
+
+def test_pwrite_overwrite_middle():
+    s = PFSStore()
+    h = s.create("f")
+    h.pwrite(0, b"abcdef")
+    h.pwrite(2, b"XY")
+    assert h.pread(0, 6) == b"abXYef"
+
+
+def test_short_read_past_eof():
+    s = PFSStore()
+    h = s.create("f")
+    h.pwrite(0, b"abc")
+    assert h.pread(1, 100) == b"bc"
+    assert h.pread(10, 5) == b""
+
+
+def test_namespace_ops():
+    s = PFSStore()
+    assert not s.exists("f")
+    s.create("f")
+    assert s.exists("f")
+    assert s.listdir() == ["f"]
+    assert s.size("f") == 0
+    s.unlink("f")
+    assert not s.exists("f")
+    with pytest.raises(FileNotFoundError):
+        s.unlink("f")
+    with pytest.raises(FileNotFoundError):
+        s.open("f")
+    with pytest.raises(FileNotFoundError):
+        s.size("f")
+
+
+def test_create_truncates_or_rejects():
+    s = PFSStore()
+    s.create("f").pwrite(0, b"data")
+    assert s.size("f") == 4
+    s.create("f")  # truncate
+    assert s.size("f") == 0
+    with pytest.raises(FileExistsError):
+        s.create("f", truncate=False)
+
+
+def test_stats_counters():
+    s = PFSStore()
+    h = s.create("f")
+    h.pwrite(0, b"abcd")
+    h.pread(0, 2)
+    assert s.bytes_written == 4
+    assert s.bytes_read == 2
+    assert s.n_creates == 1
+
+
+def test_concurrent_disjoint_writes():
+    s = PFSStore()
+    h = s.create("f")
+    n, span = 8, 1000
+
+    def writer(i):
+        h.pwrite(i * span, bytes([i]) * span)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    data = h.pread(0, n * span)
+    for i in range(n):
+        assert data[i * span:(i + 1) * span] == bytes([i]) * span

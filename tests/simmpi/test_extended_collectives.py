@@ -1,0 +1,131 @@
+"""Tests for the extended collective set: scans, reduce_scatter,
+sendrecv, vector variants."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.simmpi import run_world
+
+
+def test_sendrecv_ring_shift():
+    def main(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        payload, status = comm.sendrecv(
+            f"from-{comm.rank}", dest=right, source=left,
+            sendtag=5, recvtag=5,
+        )
+        assert status.source == left
+        return payload
+
+    res = run_world(4, main)
+    assert res.returns == ["from-3", "from-0", "from-1", "from-2"]
+
+
+def test_scan_inclusive():
+    def main(comm):
+        return comm.scan(comm.rank + 1)
+
+    res = run_world(5, main)
+    assert res.returns == [1, 3, 6, 10, 15]
+
+
+def test_scan_custom_op():
+    def main(comm):
+        return comm.scan(comm.rank + 1, op=operator.mul)
+
+    res = run_world(4, main)
+    assert res.returns == [1, 2, 6, 24]
+
+
+def test_exscan():
+    def main(comm):
+        return comm.exscan(comm.rank + 1, initial=0)
+
+    res = run_world(4, main)
+    assert res.returns == [0, 1, 3, 6]
+
+
+def test_exscan_default_initial_none():
+    def main(comm):
+        return comm.exscan(10)
+
+    res = run_world(3, main)
+    assert res.returns == [None, 10, 20]
+
+
+def test_exscan_offsets_use_case():
+    """The classic pattern: global offsets from local counts."""
+    counts = [3, 1, 4, 1, 5]
+
+    def main(comm):
+        return comm.exscan(counts[comm.rank], initial=0)
+
+    res = run_world(5, main)
+    assert res.returns == [0, 3, 4, 8, 9]
+
+
+def test_reduce_scatter():
+    def main(comm):
+        contrib = [comm.rank * 10 + j for j in range(comm.size)]
+        return comm.reduce_scatter(contrib)
+
+    res = run_world(3, main)
+    # rank j receives sum_i (i*10 + j)
+    assert res.returns == [30 + 0 * 3, 30 + 3, 30 + 6]
+
+
+def test_reduce_scatter_validates_length():
+    def main(comm):
+        return comm.reduce_scatter([1])
+
+    with pytest.raises(ValueError):
+        run_world(2, main)
+
+
+def test_reduce_scatter_numpy():
+    def main(comm):
+        contrib = [np.full(2, comm.rank + 1) for _ in range(comm.size)]
+        return comm.reduce_scatter(contrib)
+
+    res = run_world(3, main)
+    for r in res.returns:
+        np.testing.assert_array_equal(r, [6, 6])
+
+
+def test_gatherv_scatterv_variable_sizes():
+    def main(comm):
+        chunk = list(range(comm.rank + 1))  # sizes 1, 2, 3
+        gathered = comm.gatherv(chunk, root=0)
+        if comm.rank == 0:
+            assert gathered == [[0], [0, 1], [0, 1, 2]]
+            spread = comm.scatterv([["a"], ["b"] * 2, ["c"] * 3], root=0)
+        else:
+            spread = comm.scatterv(None, root=0)
+        return len(spread)
+
+    res = run_world(3, main)
+    assert res.returns == [1, 2, 3]
+
+
+def test_alltoallv():
+    def main(comm):
+        sends = [[comm.rank] * (j + 1) for j in range(comm.size)]
+        recv = comm.alltoallv(sends)
+        # From rank j we receive a list of length rank+1 filled with j.
+        return [(len(x), x[0] if x else None) for x in recv]
+
+    res = run_world(3, main)
+    for i, got in enumerate(res.returns):
+        assert got == [(i + 1, 0), (i + 1, 1), (i + 1, 2)]
+
+
+def test_scan_advances_clocks_uniformly():
+    def main(comm):
+        comm.scan(1)
+        return round(comm.vtime, 12)
+
+    res = run_world(4, main)
+    assert len(set(res.returns)) == 1

@@ -1,0 +1,73 @@
+"""Hypothesis properties of the message-passing semantics."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.simmpi import run_world
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=20),
+       st.integers(2, 4))
+def test_prop_fifo_per_source_tag_pair(tags, nprocs):
+    """Messages between one (source, tag) pair arrive in send order,
+    regardless of interleaving with other tags."""
+    def main(comm):
+        if comm.rank == 0:
+            for seq, tag in enumerate(tags):
+                comm.send((tag, seq), dest=1, tag=tag)
+        elif comm.rank == 1:
+            per_tag = {}
+            for _ in range(len(tags)):
+                (tag, seq), status = comm.recv(source=0)
+                per_tag.setdefault(status.tag, []).append(seq)
+                assert tag == status.tag
+            for got in per_tag.values():
+                assert got == sorted(got)
+            return per_tag
+
+    run_world(nprocs, main)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(2, 5), st.integers(1, 8))
+def test_prop_all_sent_messages_received(nprocs, k):
+    """Conservation: every message sent is received exactly once."""
+    def main(comm):
+        if comm.rank == 0:
+            for dest in range(1, comm.size):
+                for i in range(k):
+                    comm.send((dest, i), dest=dest, tag=i)
+            return None
+        got = [comm.recv(source=0)[0] for _ in range(k)]
+        assert sorted(got) == [(comm.rank, i) for i in range(k)]
+        return len(got)
+
+    res = run_world(nprocs, main)
+    assert res.messages == (nprocs - 1) * k
+    assert all(r == k for r in res.returns[1:])
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(2, 5), st.integers(0, 10**6))
+def test_prop_clocks_monotone_through_collectives(nprocs, seed):
+    """Virtual clocks never go backwards across mixed op sequences."""
+    def main(comm):
+        # Same seed everywhere: collective sequences must match ranks.
+        rng = np.random.default_rng(seed)
+        last = comm.vtime
+        for op in rng.integers(0, 3, size=6):
+            if op == 0:
+                comm.compute(float(rng.random()) * 1e-3 * (comm.rank + 1))
+            elif op == 1:
+                comm.allgather(comm.rank)
+            else:
+                comm.barrier()
+            assert comm.vtime >= last
+            last = comm.vtime
+        return last
+
+    run_world(nprocs, main)

@@ -1,0 +1,72 @@
+"""Declarative workflow-spec tests."""
+
+import pytest
+
+from repro.workflow import Workflow
+
+
+def _producer(ctx):
+    """Send a greeting to the sink task."""
+    ctx.intercomm("sink").send(f"hi-{ctx.rank}", dest=0)
+    return "sent"
+
+
+def _sink(ctx):
+    """Collect greetings from both producer ranks."""
+    inter = ctx.intercomm("src")
+    return sorted(inter.recv(source=i)[0] for i in range(2))
+
+
+def test_from_spec_with_callables():
+    wf = Workflow.from_spec({
+        "tasks": [
+            {"name": "src", "nprocs": 2, "main": _producer},
+            {"name": "sink", "nprocs": 1, "main": _sink},
+        ],
+        "links": [["src", "sink"]],
+    })
+    assert wf.total_procs == 3
+    res = wf.run()
+    assert res.returns["sink"] == [["hi-0", "hi-1"]]
+
+
+def test_from_spec_with_entry_point_strings():
+    wf = Workflow.from_spec({
+        "tasks": [
+            {"name": "src", "nprocs": 2,
+             "main": "tests.workflow.test_spec:_producer"},
+            {"name": "sink", "nprocs": 1,
+             "main": "tests.workflow.test_spec:_sink"},
+        ],
+        "links": [["src", "sink"]],
+    })
+    res = wf.run()
+    assert res.returns["sink"] == [["hi-0", "hi-1"]]
+
+
+def test_from_spec_validation():
+    with pytest.raises(ValueError, match="tasks"):
+        Workflow.from_spec({})
+    with pytest.raises(ValueError, match="name/nprocs/main"):
+        Workflow.from_spec({"tasks": [{"name": "x"}]})
+    with pytest.raises(ValueError, match="module:attr"):
+        Workflow.from_spec({
+            "tasks": [{"name": "x", "nprocs": 1, "main": "no_colon"}],
+        })
+    with pytest.raises(ValueError, match="not callable"):
+        Workflow.from_spec({
+            "tasks": [{"name": "x", "nprocs": 1, "main": 42}],
+        })
+    with pytest.raises(ValueError, match="unknown task"):
+        Workflow.from_spec({
+            "tasks": [{"name": "x", "nprocs": 1, "main": _producer}],
+            "links": [["x", "missing"]],
+        })
+
+
+def test_from_spec_no_links_ok():
+    wf = Workflow.from_spec({
+        "tasks": [{"name": "solo", "nprocs": 2,
+                   "main": lambda ctx: ctx.rank}],
+    })
+    assert wf.run().returns["solo"] == [0, 1]
