@@ -1,12 +1,14 @@
 #!/usr/bin/env python
-"""Fine-grained phase profiling of LowFive's transport.
+"""Fine-grained phase profiling of LowFive's transport, via repro.obs.
 
 The paper's future work: "We are working on profiling our communication
 at finer grain in order to see where the remaining bottlenecks are."
 This example runs the synthetic benchmark twice -- with the paper's
 index-serve-query protocol and with the producer-push extension -- and
-prints the per-phase breakdown each rank's VOL recorded, making the
-protocol's synchronization costs visible.
+prints the per-phase breakdown from the run's observability record
+(``WorkflowResult.obs``): every LowFive phase is a span, so the
+breakdown, the timeline, and a Chrome/Perfetto trace all come from the
+same telemetry.
 
 Run:  python examples/profiling_breakdown.py
 """
@@ -30,11 +32,10 @@ WL = SyntheticWorkload(grid_points_per_proc=200_000,
                        particles_per_proc=200_000)
 NPROD, NCONS = 6, 2
 SHAPE = WL.grid_shape(NPROD)
+RANKS = {"producer": range(NPROD), "consumer": range(NPROD, NPROD + NCONS)}
 
 
 def run(push: bool, trace: bool = False):
-    stats = {"producer": [], "consumer": []}
-
     def make_vol(ctx, role, peer):
         def factory():
             vol = DistMetadataVOL(comm=ctx.comm, under=NativeVOL(PFSStore()))
@@ -56,7 +57,7 @@ def run(push: bool, trace: bool = False):
         sel = producer_grid_selection(SHAPE, ctx.rank, ctx.size)
         d.write(grid_values(sel, SHAPE), file_select=sel)
         f.close()
-        return dict(vol.phase_stats(ctx.comm).seconds)
+        return True
 
     def consumer(ctx):
         vol = make_vol(ctx, "consumer", "producer")
@@ -65,41 +66,44 @@ def run(push: bool, trace: bool = False):
         vals = f["grid"].read(sel, reshape=False)
         assert validate_grid(sel, SHAPE, vals)
         f.close()
-        return dict(vol.phase_stats(ctx.comm).seconds)
+        return True
 
     wf = Workflow()
     wf.add_task("producer", NPROD, producer)
     wf.add_task("consumer", NCONS, consumer)
     wf.add_link("producer", "consumer")
-    res = wf.run(trace=trace)
-    return res, res.returns["producer"], res.returns["consumer"]
+    return wf.run(trace=trace)
 
 
-def show(label, res, prod_stats, cons_stats):
+def show(label, res):
     print(f"\n=== {label}: completion {res.vtime:.3f} simulated s ===")
-    for side, stats in (("producer", prod_stats), ("consumer", cons_stats)):
-        # Average each phase across the task's ranks.
+    spans = res.obs.spans
+    for side, ranks in RANKS.items():
+        # Per-rank total of each lowfive phase, averaged over the task.
         phases = {}
-        for s in stats:
-            for k, v in s.items():
-                phases.setdefault(k, []).append(v)
+        for r in ranks:
+            for s in spans.spans(cat="lowfive", rank=r):
+                phases.setdefault(s.labels["phase"], {}) \
+                    .setdefault(r, 0.0)
+                phases[s.labels["phase"]][r] += s.duration
         print(f"  {side}:")
         for k in sorted(phases):
-            vals = phases[k]
+            vals = list(phases[k].values())
             print(f"    {k:<14} mean {np.mean(vals) * 1e3:8.2f} ms   "
                   f"max {np.max(vals) * 1e3:8.2f} ms")
 
 
 def main():
-    res_q, pq, cq = run(push=False, trace=True)
-    show("index-serve-query (paper protocol)", res_q, pq, cq)
-    res_p, pp, cp = run(push=True)
-    show("producer push (extension)", res_p, pp, cp)
+    res_q = run(push=False, trace=True)
+    show("index-serve-query (paper protocol)", res_q)
+    res_p = run(push=True)
+    show("producer push (extension)", res_p)
     print(f"\npush saves {(res_q.vtime - res_p.vtime) * 1e3:.2f} "
           f"simulated ms "
           f"({100 * (1 - res_p.vtime / res_q.vtime):.1f}%) on this shape")
 
-    # The traced run also yields a communication picture (repro.tools).
+    # The same telemetry renders as an ASCII timeline (spans paint
+    # their extents; point events draw on top) ...
     from repro.tools import (
         communication_matrix,
         render_matrix,
@@ -107,13 +111,20 @@ def main():
     )
 
     nprocs = NPROD + NCONS
+    events = res_q.obs.spans.spans(cat="lowfive") + res_q.trace
     print()
-    print(render_timeline(res_q.trace, nprocs, width=64,
-                          title="Communication timeline (query protocol)"))
+    print(render_timeline(events, nprocs, width=64,
+                          title="Transport timeline (query protocol)"))
     m = communication_matrix(res_q.trace, nprocs)
     print(render_matrix(m, title="Bytes sent rank-to-rank "
                                  f"(ranks 0-{NPROD - 1} produce, "
                                  f"{NPROD}-{nprocs - 1} consume)"))
+
+    # ... and as a Chrome/Perfetto trace for interactive digging.
+    out = "profiling_breakdown_trace.json"
+    res_q.obs.write_chrome_trace(out, res_q.trace)
+    print(f"Chrome trace written to {out} "
+          "(open at https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

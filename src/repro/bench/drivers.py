@@ -28,6 +28,7 @@ from repro.baselines import (
 )
 from repro.h5.native import NativeVOL
 from repro.lowfive import DistMetadataVOL
+from repro.obs import metrics_dump
 from repro.pfs import PFSStore
 from repro.perfmodel.transports import Machine, THETA_KNL
 from repro.synth import (
@@ -46,7 +47,12 @@ from repro.workflow import Workflow
 
 @dataclass
 class ExecutedResult:
-    """One executed benchmark point."""
+    """One executed benchmark point.
+
+    ``metrics`` is the run's plain-dict obs metrics dump (counters,
+    gauges, histograms from every instrumented layer); ``None`` only
+    for hand-built results.
+    """
 
     nprod: int
     ncons: int
@@ -54,6 +60,7 @@ class ExecutedResult:
     validated: bool
     messages: int
     bytes_sent: int
+    metrics: dict | None = None
 
 
 def _check(returns) -> bool:
@@ -69,8 +76,9 @@ def _run(wf: Workflow, machine: Machine, consumer_name: str = "consumer",
 def _finish(nprod, ncons, res, ok) -> ExecutedResult:
     if not ok:
         raise AssertionError("consumer-side validation failed")
+    metrics = metrics_dump(res.obs.metrics) if res.obs is not None else None
     return ExecutedResult(nprod, ncons, res.vtime, ok,
-                          res.messages, res.bytes_sent)
+                          res.messages, res.bytes_sent, metrics)
 
 
 # -- LowFive ----------------------------------------------------------------

@@ -36,6 +36,7 @@ from repro.h5.objects import (
 )
 from repro.h5.plist import DEFAULT_DCPL, DEFAULT_DXPL
 from repro.h5.vol import VOLBase
+from repro.obs import obs_of, span
 from repro.pfs.lustre import LustreModel
 from repro.pfs.store import PFSStore
 
@@ -98,6 +99,20 @@ class NativeVOL(VOLBase):
         if comm is not None:
             comm.compute(seconds)
 
+    def _count_ost_bytes(self, comm, name: str, nbytes: int,
+                         fname: str) -> None:
+        """Account transferred bytes, spread across the file's OSTs."""
+        obs = obs_of(comm)
+        if obs is None or nbytes <= 0:
+            return
+        rank = comm.world_rank(comm.rank)
+        obs.metrics.inc(name, nbytes, rank=rank, file=fname)
+        # Striped files spread large transfers evenly over the OSTs.
+        nost = self.lustre.stripe_count
+        per_ost = nbytes / nost
+        for ost in range(nost):
+            obs.metrics.inc(f"{name}.ost", per_ost, ost=ost)
+
     # -- files -----------------------------------------------------------------
 
     def file_create(self, fname, mode, fapl, comm):
@@ -112,7 +127,8 @@ class NativeVOL(VOLBase):
                 state = _FileState(fname, FileNode(fname), "w", comm, nprocs)
                 self._images[fname] = state
             state.refcount += 1
-        self._charge(comm, self.lustre.open_time(nprocs))
+        with span(comm, "pfs.open", cat="pfs", file=fname, mode=mode):
+            self._charge(comm, self.lustre.open_time(nprocs))
         return _Token(state, state.root)
 
     def file_open(self, fname, mode, fapl, comm):
@@ -124,7 +140,9 @@ class NativeVOL(VOLBase):
                 state = self._images.get(fname)
                 if state is not None and not state.closed:
                     state.refcount += 1
-                    self._charge(comm, self.lustre.open_time(nprocs))
+                    with span(comm, "pfs.open", cat="pfs", file=fname,
+                              mode=mode):
+                        self._charge(comm, self.lustre.open_time(nprocs))
                     return _Token(state, state.root)
         if not self.store.exists(fname):
             raise NotFoundError(f"no such file: {fname}")
@@ -135,7 +153,8 @@ class NativeVOL(VOLBase):
         root = h5format.decode_file(buf, fname)
         state = _FileState(fname, root, mode, comm, nprocs)
         state.refcount = 1
-        self._charge(comm, self.lustre.open_time(nprocs))
+        with span(comm, "pfs.open", cat="pfs", file=fname, mode=mode):
+            self._charge(comm, self.lustre.open_time(nprocs))
         return _Token(state, root)
 
     def file_close(self, ftoken):
@@ -143,6 +162,11 @@ class NativeVOL(VOLBase):
         if getattr(ftoken, "closed", False):
             raise ClosedError(f"file already closed: {state.name}")
         ftoken.closed = True
+        comm = state.comm
+        with span(comm, "pfs.close", cat="pfs", file=state.name):
+            self._file_close_impl(ftoken, state)
+
+    def _file_close_impl(self, ftoken, state):
         comm = state.comm
         nprocs = state.nprocs
         writeback = state.mode in ("w", "a")
@@ -240,35 +264,39 @@ class NativeVOL(VOLBase):
             piece = node.write(selection, data, OWN_DEEP)
         comm = state.comm
         local = piece.nbytes
-        if comm is not None and dxpl.collective:
-            total = comm.allreduce(local)
-            self._charge(
-                comm, self.lustre.write_time(total, state.nprocs, True)
-            )
-        else:
-            self._charge(
-                comm, self.lustre.write_time(local, state.nprocs, False)
-            )
-        if node.chunks is not None:
-            # Chunked layout: per-chunk lock/index work replaces the
-            # shared-extent locking; also pay a read-modify-write pass
-            # on chunks the selection only partially covers.
-            from repro.h5.selection import chunks_touched
-
-            nchunks = chunks_touched(selection, node.chunks)
-            import numpy as _np
-
-            chunk_cells = int(_np.prod(node.chunks))
-            full = selection.npoints // chunk_cells
-            partial = max(0, nchunks - full)
-            self._charge(comm, self.lustre.metadata_op_time(nchunks))
-            if partial:
-                rmw_bytes = partial * chunk_cells * node.dtype.itemsize
+        with span(comm, "pfs.write", cat="pfs", file=state.name,
+                  dataset=node.path, nbytes=local,
+                  collective=dxpl.collective):
+            if comm is not None and dxpl.collective:
+                total = comm.allreduce(local)
                 self._charge(
-                    comm,
-                    self.lustre.read_time(rmw_bytes, state.nprocs,
-                                          dxpl.collective),
+                    comm, self.lustre.write_time(total, state.nprocs, True)
                 )
+            else:
+                self._charge(
+                    comm, self.lustre.write_time(local, state.nprocs, False)
+                )
+            if node.chunks is not None:
+                # Chunked layout: per-chunk lock/index work replaces the
+                # shared-extent locking; also pay a read-modify-write pass
+                # on chunks the selection only partially covers.
+                from repro.h5.selection import chunks_touched
+
+                nchunks = chunks_touched(selection, node.chunks)
+                import numpy as _np
+
+                chunk_cells = int(_np.prod(node.chunks))
+                full = selection.npoints // chunk_cells
+                partial = max(0, nchunks - full)
+                self._charge(comm, self.lustre.metadata_op_time(nchunks))
+                if partial:
+                    rmw_bytes = partial * chunk_cells * node.dtype.itemsize
+                    self._charge(
+                        comm,
+                        self.lustre.read_time(rmw_bytes, state.nprocs,
+                                              dxpl.collective),
+                    )
+        self._count_ost_bytes(comm, "pfs.bytes_written", local, state.name)
 
     def dataset_read(self, dtoken, selection, dxpl):
         state = dtoken.state
@@ -277,15 +305,19 @@ class NativeVOL(VOLBase):
         values = node.read(selection)
         comm = state.comm
         local = int(values.nbytes)
-        if comm is not None and dxpl.collective:
-            total = comm.allreduce(local)
-            self._charge(
-                comm, self.lustre.read_time(total, state.nprocs, True)
-            )
-        else:
-            self._charge(
-                comm, self.lustre.read_time(local, state.nprocs, False)
-            )
+        with span(comm, "pfs.read", cat="pfs", file=state.name,
+                  dataset=node.path, nbytes=local,
+                  collective=dxpl.collective):
+            if comm is not None and dxpl.collective:
+                total = comm.allreduce(local)
+                self._charge(
+                    comm, self.lustre.read_time(total, state.nprocs, True)
+                )
+            else:
+                self._charge(
+                    comm, self.lustre.read_time(local, state.nprocs, False)
+                )
+        self._count_ost_bytes(comm, "pfs.bytes_read", local, state.name)
         return values
 
     # -- attributes ---------------------------------------------------------------

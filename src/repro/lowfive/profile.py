@@ -1,11 +1,17 @@
 """Fine-grained phase profiling for the distributed VOL.
 
 Paper Sec. V-C: "We are working on profiling our communication at finer
-grain in order to see where the remaining bottlenecks are." This module
-provides that: per-rank accumulation of virtual time spent in each
-transport phase (write, index, serve, metadata open, query), plus
-message/byte counters, exposed via
-:meth:`~repro.lowfive.vol_dist.DistMetadataVOL.phase_stats`.
+grain in order to see where the remaining bottlenecks are."
+
+Since the ``repro.obs`` subsystem, the actual telemetry lives there:
+every phase is recorded as an obs *span* (``lowfive.<phase>``,
+category ``"lowfive"``, with a ``phase`` label plus call-site labels
+like the file or dataset). This module is kept as a thin compatibility
+shim -- :class:`PhaseStats` and
+:meth:`~repro.lowfive.vol_dist.DistMetadataVOL.phase_stats` keep
+working, and their totals equal the summed durations of the
+corresponding obs spans exactly (both read the same virtual clock at
+the same points).
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from repro.obs import obs_of
 
 
 @dataclass
@@ -49,7 +57,13 @@ class PhaseStats:
 
 
 class Profiler:
-    """Per-rank phase profiler keyed like the VOL's rank state."""
+    """Per-rank phase profiler keyed like the VOL's rank state.
+
+    A shim over :mod:`repro.obs`: each phase emits an obs span (when
+    the communicator belongs to an observable machine) and still
+    accumulates into the legacy :class:`PhaseStats` so existing benches
+    and examples keep working unchanged.
+    """
 
     def __init__(self):
         self._stats: dict[int, PhaseStats] = {}
@@ -65,14 +79,24 @@ class Profiler:
             return st
 
     @contextmanager
-    def phase(self, rank_key: int, name: str, comm):
-        """Measure the virtual-time cost of a phase on this rank."""
+    def phase(self, rank_key: int, name: str, comm, **labels):
+        """Measure the virtual-time cost of a phase on this rank.
+
+        Extra ``labels`` (dataset path, file name, ...) are attached to
+        the emitted ``lowfive.<name>`` span.
+        """
         if comm is None:
             yield
             return
+        obs = obs_of(comm)
         start = comm.vtime
         try:
-            yield
+            if obs is not None:
+                with obs.span(comm, f"lowfive.{name}", cat="lowfive",
+                              phase=name, **labels):
+                    yield
+            else:
+                yield
         finally:
             self.stats_for(rank_key).add(name, comm.vtime - start)
 

@@ -161,7 +161,8 @@ class DistMetadataVOL(MetadataVOL):
         """Collective over the producer comm: exchange written bounding
         boxes so each rank indexes its common-decomposition block."""
         comm = self.comm
-        with self.profiler.phase(self._rank_key(comm), "index", comm):
+        with self.profiler.phase(self._rank_key(comm), "index", comm,
+                                 file=fname):
             self._index_file_impl(fname)
 
     def _index_file_impl(self, fname: str) -> None:
@@ -210,7 +211,8 @@ class DistMetadataVOL(MetadataVOL):
         root = self.get_tree(comm, fname)
         if root is None:
             return
-        with self.profiler.phase(self._rank_key(comm), "push", comm):
+        with self.profiler.phase(self._rank_key(comm), "push", comm,
+                                 file=fname):
             for inter in inters:
                 ncons = inter.remote_size
                 for crank in range(ncons):
@@ -345,14 +347,14 @@ class DistMetadataVOL(MetadataVOL):
         for inter in inters:
             st.server.attach(inter)
         with self.profiler.phase(self._rank_key(self.comm), "serve",
-                                 self.comm):
+                                 self.comm, file=fname):
             st.server.serve()
 
     # -- consumer side: query (Algorithm 3) -----------------------------------------
 
     def _remote_open(self, fname: str, mode, fapl, comm, inter):
         with self.profiler.phase(self._rank_key(comm), "metadata_open",
-                                 comm):
+                                 comm, file=fname):
             return self._remote_open_impl(fname, mode, fapl, comm, inter)
 
     def _remote_open_impl(self, fname: str, mode, fapl, comm, inter):
@@ -376,7 +378,9 @@ class DistMetadataVOL(MetadataVOL):
     def _query_read(self, dtoken, selection):
         """Algorithm 3 for one read call."""
         comm = dtoken.fstate.comm
-        with self.profiler.phase(self._rank_key(comm), "query", comm):
+        with self.profiler.phase(self._rank_key(comm), "query", comm,
+                                 file=dtoken.fstate.fname,
+                                 dataset=dtoken.node.path):
             return self._query_read_impl(dtoken, selection)
 
     def _query_read_impl(self, dtoken, selection):

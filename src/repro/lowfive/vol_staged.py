@@ -92,7 +92,8 @@ class StagedMetadataVOL(DistMetadataVOL):
         root = self.get_tree(comm, fname)
         if root is None:
             return
-        with self.profiler.phase(self._rank_key(comm), "stage", comm):
+        with self.profiler.phase(self._rank_key(comm), "stage", comm,
+                                 file=fname):
             nstage = inter.remote_size
             if comm is None or comm.rank == 0:
                 blob = _skeleton_bytes(root)
@@ -154,7 +155,8 @@ class StagedMetadataVOL(DistMetadataVOL):
         comm = fstate.comm
         node = dtoken.node
         with self.profiler.phase(self._rank_key(comm), "staged_query",
-                                 comm):
+                                 comm, file=fstate.fname,
+                                 dataset=node.path):
             nstage = client.remote_size
             dec = RegularDecomposer(node.space.shape, nstage)
             qbb = Bounds.from_selection(selection)

@@ -1,0 +1,144 @@
+"""Unified observability: metrics, spans, trace export, flight recorder.
+
+One :class:`ObsContext` per simulated machine (the
+:class:`~repro.simmpi.engine.Engine` owns it) collects telemetry from
+every layer -- simmpi messages and collectives, LowFive transport
+phases, PFS I/O, workflow tasks -- behind a single API:
+
+- :mod:`repro.obs.metrics` -- thread-safe counters/gauges/histograms
+  keyed by ``(name, labels)`` with associative snapshot merging;
+- :mod:`repro.obs.spans` -- virtual-clock span tracing with
+  parent/child links;
+- :mod:`repro.obs.recorder` -- a bounded per-rank flight recorder for
+  post-mortems without full-trace overhead;
+- :mod:`repro.obs.export` -- Chrome/Perfetto ``trace_event`` JSON and
+  plain-dict metrics dumps.
+
+Instrumentation points reach the context through their communicator::
+
+    from repro.obs import span
+
+    with span(comm, "lowfive.query", cat="lowfive", dataset=path):
+        ...  # measured in virtual time, nested under enclosing spans
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_dump,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    merge_snapshots,
+)
+from repro.obs.recorder import FlightEvent, FlightRecorder
+from repro.obs.spans import InstantEvent, SpanEvent, SpanRecorder
+
+__all__ = [
+    "ObsContext",
+    "obs_of",
+    "span",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "merge_snapshots",
+    "SpanRecorder",
+    "SpanEvent",
+    "InstantEvent",
+    "FlightRecorder",
+    "FlightEvent",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "metrics_dump",
+]
+
+
+class ObsContext:
+    """All telemetry of one simulated machine.
+
+    Parameters
+    ----------
+    flight_capacity:
+        Per-rank ring-buffer size of the always-on flight recorder.
+    """
+
+    def __init__(self, flight_capacity: int = 256):
+        self.metrics = MetricsRegistry()
+        self.spans = SpanRecorder()
+        self.flight = FlightRecorder(flight_capacity)
+        self._rank_tasks: dict[int, str] = {}
+
+    # -- task topology (pid/tid mapping for export) ------------------------
+
+    def set_task(self, task: str, world_ranks) -> None:
+        """Declare that ``world_ranks`` belong to workflow task ``task``."""
+        for r in world_ranks:
+            self._rank_tasks[r] = task
+
+    def task_of(self, rank: int) -> str | None:
+        """The task owning world rank ``rank`` (or ``None``)."""
+        return self._rank_tasks.get(rank)
+
+    def rank_tasks(self) -> dict:
+        """Copy of the world-rank -> task-name map."""
+        return dict(self._rank_tasks)
+
+    # -- span production ---------------------------------------------------
+
+    @contextmanager
+    def span(self, comm, name: str, cat: str = "", **labels):
+        """Measure a region of ``comm``'s calling rank in virtual time.
+
+        Yields the open-span handle. No-op when ``comm`` is None (code
+        running outside a simulated machine).
+        """
+        if comm is None:
+            yield None
+            return
+        rank = comm.world_rank(comm.rank)
+        t0 = comm.vtime
+        handle = self.spans.begin(rank, name, cat, t0, labels)
+        self.flight.record(rank, t0, "span_begin", name)
+        try:
+            yield handle
+        finally:
+            t1 = comm.vtime
+            self.spans.end(handle, t1)
+            self.flight.record(rank, t1, "span_end", name)
+
+    # -- export ------------------------------------------------------------
+
+    def chrome_trace(self, events=()) -> dict:
+        """Chrome ``trace_event`` document (see :mod:`repro.obs.export`)."""
+        return chrome_trace(self, events)
+
+    def write_chrome_trace(self, path: str, events=()) -> dict:
+        """Export the trace as JSON at ``path``."""
+        return write_chrome_trace(path, self, events)
+
+
+def obs_of(comm) -> ObsContext | None:
+    """The :class:`ObsContext` reachable from ``comm`` (or ``None``)."""
+    if comm is None:
+        return None
+    engine = getattr(comm, "engine", None)
+    return getattr(engine, "obs", None)
+
+
+def span(comm, name: str, cat: str = "", **labels):
+    """Context manager measuring a span on ``comm``'s calling rank.
+
+    Resolves the machine's :class:`ObsContext` through the
+    communicator; degrades to a no-op when there is none (plain
+    single-process code).
+    """
+    obs = obs_of(comm)
+    if obs is None:
+        return nullcontext()
+    return obs.span(comm, name, cat, **labels)

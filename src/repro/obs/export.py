@@ -1,0 +1,141 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON and metrics dumps.
+
+The Chrome trace format (loadable in ``chrome://tracing``, Perfetto, or
+speedscope) maps naturally onto a workflow run: one *pid* per task, one
+*tid* per rank, virtual-clock seconds as microsecond timestamps. Spans
+become complete (``"ph": "X"``) events; point-to-point trace events and
+recorded instants become instant (``"ph": "i"``) events; task and rank
+names ride along as metadata (``"ph": "M"``) events.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+
+#: Virtual seconds -> Chrome trace microseconds.
+_US = 1e6
+
+#: pid used for ranks that belong to no declared task.
+WORLD_PID = 0
+
+
+def _pids(obs) -> dict:
+    """Task name -> pid (1-based, in task-declaration order)."""
+    tasks = []
+    for task in obs.rank_tasks().values():
+        if task not in tasks:
+            tasks.append(task)
+    return {t: i + 1 for i, t in enumerate(tasks)}
+
+
+def chrome_trace(obs, events=()) -> dict:
+    """Build a Chrome ``trace_event`` document from an
+    :class:`~repro.obs.ObsContext` plus optional legacy
+    :class:`~repro.simmpi.engine.TraceEvent` records.
+
+    Returns a plain dict; dump it with ``json.dump`` or use
+    :func:`write_chrome_trace`.
+    """
+    pids = _pids(obs)
+    rank_tasks = obs.rank_tasks()
+
+    def pid_of(rank: int) -> int:
+        return pids.get(rank_tasks.get(rank), WORLD_PID)
+
+    out = []
+    seen_threads = set()
+
+    def thread_meta(rank: int):
+        pid = pid_of(rank)
+        if (pid, rank) in seen_threads:
+            return
+        seen_threads.add((pid, rank))
+        out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": rank, "args": {"name": f"rank {rank}"}})
+
+    for task, pid in pids.items():
+        out.append({"ph": "M", "name": "process_name", "pid": pid,
+                    "tid": 0, "args": {"name": task}})
+    out.append({"ph": "M", "name": "process_name", "pid": WORLD_PID,
+                "tid": 0, "args": {"name": "world"}})
+
+    for s in obs.spans.spans():
+        thread_meta(s.rank)
+        args = dict(s.labels)
+        args["span_id"] = s.span_id
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        out.append({
+            "ph": "X", "name": s.name, "cat": s.cat or "span",
+            "ts": s.t0 * _US, "dur": max(0.0, s.duration) * _US,
+            "pid": pid_of(s.rank), "tid": s.rank, "args": args,
+        })
+
+    for i in obs.spans.instants():
+        thread_meta(i.rank)
+        out.append({
+            "ph": "i", "s": "t", "name": i.name, "cat": i.cat or "instant",
+            "ts": i.t * _US, "pid": pid_of(i.rank), "tid": i.rank,
+            "args": dict(i.labels),
+        })
+
+    for e in events:
+        thread_meta(e.rank)
+        out.append({
+            "ph": "i", "s": "t", "name": e.label or e.kind, "cat": "simmpi",
+            "ts": e.vtime * _US, "pid": pid_of(e.rank), "tid": e.rank,
+            "args": {"kind": e.kind, "peer": e.peer, "tag": e.tag,
+                     "nbytes": e.nbytes},
+        })
+
+    return {"traceEvents": out, "displayTimeUnit": "ms",
+            "otherData": {"clock": "virtual",
+                          "metrics": metrics_dump(obs.metrics)}}
+
+
+def write_chrome_trace(path: str, obs, events=()) -> dict:
+    """Export ``obs`` (plus legacy events) as JSON at ``path``."""
+    doc = chrome_trace(obs, events)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=None, separators=(",", ":"))
+    return doc
+
+
+def validate_chrome_trace(doc: dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed trace.
+
+    Checks the envelope and the per-event required fields for the
+    phases this exporter emits (``X``, ``i``, ``M``).
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("missing traceEvents")
+    if not isinstance(doc["traceEvents"], list):
+        raise ValueError("traceEvents must be a list")
+    for ev in doc["traceEvents"]:
+        if not isinstance(ev, dict):
+            raise ValueError(f"event is not an object: {ev!r}")
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            raise ValueError(f"unsupported phase {ph!r}")
+        for k in ("name", "pid", "tid"):
+            if k not in ev:
+                raise ValueError(f"event missing {k!r}: {ev!r}")
+        if ph == "X":
+            if "ts" not in ev or "dur" not in ev:
+                raise ValueError(f"X event missing ts/dur: {ev!r}")
+            if ev["dur"] < 0:
+                raise ValueError(f"negative duration: {ev!r}")
+        if ph == "i" and "ts" not in ev:
+            raise ValueError(f"i event missing ts: {ev!r}")
+    json.dumps(doc)  # must be serializable as-is
+
+
+def metrics_dump(metrics) -> dict:
+    """Plain-dict dump of a registry or snapshot (JSON-able)."""
+    if isinstance(metrics, MetricsRegistry):
+        metrics = metrics.snapshot()
+    if isinstance(metrics, MetricsSnapshot):
+        return metrics.to_dict()
+    raise TypeError(f"cannot dump metrics from {type(metrics).__name__}")

@@ -1,0 +1,245 @@
+"""Thread-safe metrics: counters, gauges, histograms.
+
+Every metric is keyed by ``(name, labels)``; per-rank scoping is just a
+``rank=...`` label, so one registry serves all ranks of a simulated
+machine. Snapshots are cheap (copy of small dataclasses under one lock)
+and merge associatively, so per-task or per-run snapshots can be
+combined in any grouping:
+
+    reg = MetricsRegistry()
+    reg.inc("simmpi.send.bytes", 4096, rank=3)
+    reg.set("pfs.open_files", 2, rank=0)
+    reg.observe("lowfive.query.bytes", 1024, rank=1, dataset="/grid")
+    snap = reg.snapshot()
+    combined = snap.merge(other_snap)
+    combined.to_dict()   # plain JSON-able dict
+
+Histograms use base-2 exponential buckets (bucket ``i`` holds values in
+``(2**(i-1), 2**i]``; non-positive values land in bucket ``None``), so
+merging never re-bins.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+
+def metric_key(name: str, labels: dict) -> tuple:
+    """Canonical hashable key for ``(name, labels)``."""
+    return (name, tuple(sorted(labels.items())))
+
+
+def key_str(key: tuple) -> str:
+    """Prometheus-flavoured rendering: ``name{k=v,...}``."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class CounterValue:
+    """Monotonic sum plus increment count."""
+
+    total: float = 0.0
+    count: int = 0
+
+    def inc(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+
+    def merge(self, other: "CounterValue") -> "CounterValue":
+        return CounterValue(self.total + other.total,
+                            self.count + other.count)
+
+    def to_json(self):
+        return {"total": self.total, "count": self.count}
+
+
+@dataclass
+class GaugeValue:
+    """Last-written value; ``seq`` orders writes across merges.
+
+    Merging keeps the write with the larger ``(seq, value)`` pair, which
+    makes the merge associative and commutative.
+    """
+
+    value: float = 0.0
+    seq: int = 0
+
+    def merge(self, other: "GaugeValue") -> "GaugeValue":
+        a, b = (self.seq, self.value), (other.seq, other.value)
+        return GaugeValue(*reversed(max(a, b)))
+
+    def to_json(self):
+        return {"value": self.value, "seq": self.seq}
+
+
+def bucket_index(value: float):
+    """Exponential bucket of ``value``: smallest ``i`` with
+    ``2**i >= value`` (and ``None`` for values <= 0)."""
+    if value <= 0:
+        return None
+    return max(0, math.ceil(math.log2(value)))
+
+
+@dataclass
+class HistogramValue:
+    """Bucketed distribution: counts per base-2 bucket + moments."""
+
+    buckets: dict = field(default_factory=dict)
+    total: float = 0.0
+    count: int = 0
+    vmin: float = math.inf
+    vmax: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        b = bucket_index(value)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+        self.total += value
+        self.count += 1
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+
+    def merge(self, other: "HistogramValue") -> "HistogramValue":
+        buckets = dict(self.buckets)
+        for b, n in other.buckets.items():
+            buckets[b] = buckets.get(b, 0) + n
+        return HistogramValue(
+            buckets, self.total + other.total, self.count + other.count,
+            min(self.vmin, other.vmin), max(self.vmax, other.vmax),
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_json(self):
+        return {
+            "buckets": {str(b): n for b, n in sorted(
+                self.buckets.items(), key=lambda kv: (kv[0] is None, kv[0]))},
+            "total": self.total,
+            "count": self.count,
+            "min": None if self.count == 0 else self.vmin,
+            "max": None if self.count == 0 else self.vmax,
+        }
+
+
+_KINDS = {"counter": CounterValue, "gauge": GaugeValue,
+          "histogram": HistogramValue}
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable point-in-time copy of a registry.
+
+    ``data`` maps ``(kind, key)`` -> value dataclass. Merging is pure
+    and associative (see the individual value types).
+    """
+
+    data: dict = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        out = dict(self.data)
+        for k, v in other.data.items():
+            mine = out.get(k)
+            out[k] = v if mine is None else mine.merge(v)
+        return MetricsSnapshot(out)
+
+    def get(self, name: str, **labels):
+        """The value object for ``(name, labels)`` or ``None``."""
+        key = metric_key(name, labels)
+        for kind in _KINDS:
+            v = self.data.get((kind, key))
+            if v is not None:
+                return v
+        return None
+
+    def to_dict(self) -> dict:
+        """Plain-dict dump: ``{kind: {name{labels}: value...}}``."""
+        out = {kind: {} for kind in _KINDS}
+        for (kind, key), v in sorted(self.data.items(),
+                                     key=lambda kv: (kv[0][0], kv[0][1])):
+            out[kind][key_str(key)] = v.to_json()
+        return out
+
+
+def merge_snapshots(*snaps: MetricsSnapshot) -> MetricsSnapshot:
+    """Fold any number of snapshots into one."""
+    out = MetricsSnapshot()
+    for s in snaps:
+        out = out.merge(s)
+    return out
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges and histograms.
+
+    One lock guards all metrics; operations are dictionary lookups plus
+    a couple of float ops, cheap enough for per-message accounting on
+    the simulated machine.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data: dict[tuple, object] = {}
+        self._seq = 0
+
+    def _slot(self, kind: str, name: str, labels: dict):
+        key = (kind, metric_key(name, labels))
+        v = self._data.get(key)
+        if v is None:
+            for other in _KINDS:
+                if other != kind and (other, key[1]) in self._data:
+                    raise TypeError(
+                        f"metric {name!r} already registered as {other}"
+                    )
+            v = _KINDS[kind]()
+            self._data[key] = v
+        return v
+
+    def inc(self, name: str, value: float = 1.0, *, rank=None, **labels):
+        """Add ``value`` to the counter ``(name, labels)``."""
+        if rank is not None:
+            labels["rank"] = rank
+        with self._lock:
+            self._slot("counter", name, labels).inc(value)
+
+    def set(self, name: str, value: float, *, rank=None, **labels):
+        """Set the gauge ``(name, labels)`` to ``value``."""
+        if rank is not None:
+            labels["rank"] = rank
+        with self._lock:
+            g = self._slot("gauge", name, labels)
+            self._seq += 1
+            g.value = value
+            g.seq = self._seq
+
+    def observe(self, name: str, value: float, *, rank=None, **labels):
+        """Record ``value`` into the histogram ``(name, labels)``."""
+        if rank is not None:
+            labels["rank"] = rank
+        with self._lock:
+            self._slot("histogram", name, labels).observe(value)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Cheap immutable copy of every metric's current value."""
+        with self._lock:
+            data = {}
+            for key, v in self._data.items():
+                kind = key[0]
+                if kind == "counter":
+                    data[key] = CounterValue(v.total, v.count)
+                elif kind == "gauge":
+                    data[key] = GaugeValue(v.value, v.seq)
+                else:
+                    data[key] = HistogramValue(dict(v.buckets), v.total,
+                                               v.count, v.vmin, v.vmax)
+            return MetricsSnapshot(data)
+
+    def to_dict(self) -> dict:
+        """Shortcut: ``snapshot().to_dict()``."""
+        return self.snapshot().to_dict()

@@ -1,0 +1,90 @@
+"""Flight recorder: a bounded per-rank ring buffer of recent events.
+
+Full span tracing keeps every event alive for later analysis; a flight
+recorder keeps only the last ``capacity`` events *per rank*, so it can
+stay on permanently -- when a run deadlocks, validates wrong, or is
+mysteriously slow, the tail of each rank's activity is available for a
+post-mortem without having paid full-trace memory.
+
+Events are whatever the producers feed it: message sends/receives and
+collectives (from :class:`repro.simmpi.engine.Engine`), span begin/end
+markers (from :class:`repro.obs.ObsContext`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One ring-buffer entry."""
+
+    vtime: float
+    rank: int
+    kind: str  # "send", "recv", "coll", "span_begin", "span_end", ...
+    name: str
+    detail: tuple = ()  # sorted (key, value) pairs
+
+    def to_dict(self) -> dict:
+        d = {"vtime": self.vtime, "rank": self.rank, "kind": self.kind,
+             "name": self.name}
+        d.update(dict(self.detail))
+        return d
+
+
+class FlightRecorder:
+    """Per-rank bounded ring buffers of :class:`FlightEvent`.
+
+    ``capacity`` is per rank; the oldest events are evicted first.
+    Appends are cheap (one deque append) and each rank is written by a
+    single thread, so contention is limited to ring creation.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rings: dict[int, deque] = {}
+        self._lock = threading.Lock()
+
+    def _ring(self, rank: int) -> deque:
+        ring = self._rings.get(rank)
+        if ring is None:
+            with self._lock:
+                ring = self._rings.setdefault(
+                    rank, deque(maxlen=self.capacity)
+                )
+        return ring
+
+    def record(self, rank: int, vtime: float, kind: str, name: str,
+               **detail) -> None:
+        """Append one event to ``rank``'s ring (evicting the oldest)."""
+        self._ring(rank).append(
+            FlightEvent(vtime, rank, kind, name,
+                        tuple(sorted(detail.items())))
+        )
+
+    def events(self, rank: int | None = None) -> list[FlightEvent]:
+        """Retained events of one rank (or all ranks, time-ordered)."""
+        if rank is not None:
+            return list(self._rings.get(rank, ()))
+        out = []
+        with self._lock:
+            rings = list(self._rings.values())
+        for ring in rings:
+            out.extend(ring)
+        out.sort(key=lambda e: (e.vtime, e.rank))
+        return out
+
+    def ranks(self) -> list[int]:
+        """Ranks that have recorded at least one event."""
+        with self._lock:
+            return sorted(self._rings)
+
+    def dump(self) -> dict:
+        """JSON-able post-mortem dump: ``{rank: [event dicts]}``."""
+        return {r: [e.to_dict() for e in self.events(r)]
+                for r in self.ranks()}

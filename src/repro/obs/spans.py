@@ -1,0 +1,186 @@
+"""Virtual-clock span tracing with parent/child links.
+
+A span is one timed region of a rank's execution, measured in *virtual*
+seconds (the simulated machine's clocks, not wall time). Spans nest:
+each simmpi rank runs on its own thread, and the recorder keeps a
+per-thread stack so a span opened inside another becomes its child --
+e.g. the ``mpi.alltoall`` collective recorded inside LowFive's
+``lowfive.index`` phase.
+
+Producers use either the context-manager form (via
+:meth:`repro.obs.ObsContext.span`) or the explicit
+:meth:`SpanRecorder.begin` / :meth:`SpanRecorder.end` pair when the
+start clock is known before any waiting happens.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed span.
+
+    Attributes
+    ----------
+    span_id, parent_id:
+        Unique id and the enclosing span's id (``None`` at top level).
+    name, cat:
+        Event name (``"lowfive.query"``) and category/layer
+        (``"simmpi"``, ``"lowfive"``, ``"pfs"``, ``"workflow"``).
+    rank:
+        World rank that executed the span.
+    t0, t1:
+        Virtual start/end clocks, seconds.
+    labels:
+        Structured context (dataset path, file name, phase, ...).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    cat: str
+    rank: int
+    t0: float
+    t1: float
+    labels: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """One point-in-time event (no duration)."""
+
+    name: str
+    cat: str
+    rank: int
+    t: float
+    labels: dict = field(default_factory=dict)
+
+
+class _OpenSpan:
+    """Handle returned by :meth:`SpanRecorder.begin`. Internal."""
+
+    __slots__ = ("span_id", "parent_id", "name", "cat", "rank", "t0",
+                 "labels")
+
+    def __init__(self, span_id, parent_id, name, cat, rank, t0, labels):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.cat = cat
+        self.rank = rank
+        self.t0 = t0
+        self.labels = labels
+
+
+class SpanRecorder:
+    """Collects completed spans and instants; thread-safe.
+
+    The per-thread open-span stack supplies parent links. Begin/end
+    pairs must nest properly within one thread (the context-manager
+    form guarantees this).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._spans: list[SpanEvent] = []
+        self._instants: list[InstantEvent] = []
+        self._next_id = 1
+        self._tls = threading.local()
+
+    def _stack(self) -> list:
+        st = getattr(self._tls, "stack", None)
+        if st is None:
+            st = self._tls.stack = []
+        return st
+
+    # -- producing ---------------------------------------------------------
+
+    def begin(self, rank: int, name: str, cat: str, t0: float,
+              labels: dict | None = None) -> _OpenSpan:
+        """Open a span at virtual time ``t0``; returns its handle."""
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            sid = self._next_id
+            self._next_id += 1
+        span = _OpenSpan(sid, parent, name, cat, rank, t0,
+                         dict(labels) if labels else {})
+        stack.append(span)
+        return span
+
+    def end(self, open_span: _OpenSpan, t1: float) -> SpanEvent:
+        """Close ``open_span`` at virtual time ``t1``."""
+        stack = self._stack()
+        if open_span in stack:
+            # Pop through any improperly-unclosed children too.
+            while stack and stack[-1] is not open_span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        ev = SpanEvent(open_span.span_id, open_span.parent_id,
+                       open_span.name, open_span.cat, open_span.rank,
+                       open_span.t0, t1, open_span.labels)
+        with self._lock:
+            self._spans.append(ev)
+        return ev
+
+    def add(self, name: str, cat: str, rank: int, t0: float, t1: float,
+            labels: dict | None = None) -> SpanEvent:
+        """Record an already-measured span (no nesting bookkeeping)."""
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            sid = self._next_id
+            self._next_id += 1
+            ev = SpanEvent(sid, parent, name, cat, rank, t0, t1,
+                           dict(labels) if labels else {})
+            self._spans.append(ev)
+        return ev
+
+    def instant(self, name: str, cat: str, rank: int, t: float,
+                labels: dict | None = None) -> InstantEvent:
+        """Record a point event at virtual time ``t``."""
+        ev = InstantEvent(name, cat, rank, t,
+                          dict(labels) if labels else {})
+        with self._lock:
+            self._instants.append(ev)
+        return ev
+
+    # -- querying ----------------------------------------------------------
+
+    def spans(self, cat: str | None = None, name: str | None = None,
+              rank: int | None = None, **label_filter) -> list[SpanEvent]:
+        """Completed spans, optionally filtered."""
+        with self._lock:
+            out = list(self._spans)
+        if cat is not None:
+            out = [s for s in out if s.cat == cat]
+        if name is not None:
+            out = [s for s in out if s.name == name]
+        if rank is not None:
+            out = [s for s in out if s.rank == rank]
+        for k, v in label_filter.items():
+            out = [s for s in out if s.labels.get(k) == v]
+        return out
+
+    def instants(self) -> list[InstantEvent]:
+        """All recorded instants."""
+        with self._lock:
+            return list(self._instants)
+
+    def total(self, cat: str | None = None, name: str | None = None,
+              rank: int | None = None, **label_filter) -> float:
+        """Summed duration of the matching spans (virtual seconds)."""
+        return sum(s.duration
+                   for s in self.spans(cat, name, rank, **label_filter))
+
+    def children_of(self, span_id: int) -> list[SpanEvent]:
+        """Direct children of span ``span_id``."""
+        return [s for s in self.spans() if s.parent_id == span_id]

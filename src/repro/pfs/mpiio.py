@@ -81,6 +81,21 @@ class TwoPhaseModel:
             total_bytes // max(1, nprocs), nprocs, collective=False
         )
 
+    def account(self, metrics, total_bytes: int, nprocs: int) -> float:
+        """Record the two-phase breakdown of one collective write into an
+        obs :class:`~repro.obs.metrics.MetricsRegistry` and return the
+        end-to-end time.
+
+        Histograms keep the shuffle/write split visible per job size, so
+        analysis sweeps can report where collective I/O time goes.
+        """
+        ts = self.shuffle_time(total_bytes, nprocs)
+        tw = self.write_time(total_bytes, nprocs)
+        metrics.observe("mpiio.shuffle_seconds", ts, nprocs=nprocs)
+        metrics.observe("mpiio.write_seconds", tw, nprocs=nprocs)
+        metrics.inc("mpiio.bytes", total_bytes, nprocs=nprocs)
+        return self.collective_write_time(total_bytes, nprocs)
+
     def breakeven_procs(self, total_bytes: int, max_procs: int = 1 << 15) -> int:
         """Smallest job size where collective beats independent I/O."""
         p = 1

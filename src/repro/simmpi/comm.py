@@ -139,9 +139,8 @@ class Comm:
                 arrival=arrival,
             )
         )
-        if self.engine.trace:
-            self.engine.record(proc.clock, "send", proc.rank, dst_world,
-                               tag, nb)
+        self.engine.record(proc.clock, "send", proc.rank, dst_world,
+                           tag, nb)
 
     def isend(self, payload, dest: int, tag: int = 0,
               nbytes: int | None = None) -> Request:
@@ -187,10 +186,9 @@ class Comm:
             )
             msg = msg_holder[0]
         proc.clock = max(proc.clock, msg.arrival) + self.model.msg_overhead
-        if self.engine.trace:
-            self.engine.record(proc.clock, "recv", proc.rank,
-                               self._src_world(msg.src), msg.tag,
-                               msg.nbytes)
+        self.engine.record(proc.clock, "recv", proc.rank,
+                           self._src_world(msg.src), msg.tag,
+                           msg.nbytes)
         return msg.payload, Status(msg.src, msg.tag, msg.nbytes)
 
     def _try_recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
@@ -201,10 +199,9 @@ class Comm:
         if msg is None:
             return None
         proc.clock = max(proc.clock, msg.arrival) + self.model.msg_overhead
-        if self.engine.trace:
-            self.engine.record(proc.clock, "recv", proc.rank,
-                               self._src_world(msg.src), msg.tag,
-                               msg.nbytes)
+        self.engine.record(proc.clock, "recv", proc.rank,
+                           self._src_world(msg.src), msg.tag,
+                           msg.nbytes)
         return msg.payload, Status(msg.src, msg.tag, msg.nbytes)
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
@@ -268,6 +265,11 @@ class Comm:
         proc = self._proc()
         me = self._my_coll_key()
         cost_kind = self._COST_ALIAS.get(kind, kind)
+        obs = self.engine.obs
+        open_span = obs.spans.begin(
+            proc.rank, f"mpi.{kind}", "simmpi", proc.clock,
+            {"comm": self.comm_id, "nbytes": nbytes},
+        )
         with ctx.cond:
             self.engine.wait_on(
                 ctx.cond, lambda: not ctx.draining, f"{kind} (drain)"
@@ -298,9 +300,9 @@ class Comm:
                 ctx.max_clock = float("-inf")
                 ctx.cond.notify_all()
         proc.clock = final
-        if self.engine.trace:
-            self.engine.record(proc.clock, "coll", proc.rank, -1, 0,
-                               nbytes, label=kind)
+        obs.spans.end(open_span, proc.clock)
+        self.engine.record(proc.clock, "coll", proc.rank, -1, 0,
+                           nbytes, label=kind)
         return result
 
     def barrier(self) -> None:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.obs import ObsContext
 from repro.simmpi.errors import DeadlockError, WorkerAborted
 from repro.simmpi.message import Message
 from repro.simmpi.netmodel import NetworkModel
@@ -87,12 +88,16 @@ class Engine:
     timeout:
         Real-time seconds a blocking operation may wait before the run is
         declared deadlocked.
+    obs:
+        Observability context collecting metrics, spans and the flight
+        recorder; a fresh :class:`~repro.obs.ObsContext` by default.
     """
 
     _POLL = 0.05  # condition-wait slice, seconds of real time
 
     def __init__(self, nprocs: int, model: NetworkModel | None = None,
-                 timeout: float = 60.0, trace: bool = False):
+                 timeout: float = 60.0, trace: bool = False,
+                 obs: ObsContext | None = None):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         self.nprocs = nprocs
@@ -100,6 +105,8 @@ class Engine:
         self.timeout = timeout
         #: When True, every send/recv/collective appends a TraceEvent.
         self.trace = trace
+        #: Unified telemetry (always on; the flight recorder is bounded).
+        self.obs = obs if obs is not None else ObsContext()
         self.trace_events: list[TraceEvent] = []
         self._trace_lock = threading.Lock()
         self.procs = [Proc(i) for i in range(nprocs)]
@@ -148,7 +155,17 @@ class Engine:
 
     def record(self, vtime: float, kind: str, rank: int, peer: int,
                tag: int, nbytes: int, label: str = "") -> None:
-        """Append a trace event (no-op unless tracing is enabled)."""
+        """Account one communication event.
+
+        Always feeds the flight recorder and the byte/message counters
+        in :attr:`obs`; the full :class:`TraceEvent` list is only
+        appended when tracing is enabled.
+        """
+        self.obs.flight.record(rank, vtime, kind, label or kind,
+                               peer=peer, tag=tag, nbytes=nbytes)
+        self.obs.metrics.inc(f"simmpi.{kind}.count", 1, rank=rank)
+        if nbytes:
+            self.obs.metrics.inc(f"simmpi.{kind}.bytes", nbytes, rank=rank)
         if not self.trace:
             return
         with self._trace_lock:

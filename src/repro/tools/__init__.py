@@ -4,9 +4,12 @@
   format (like the HDF5 tools of the same names);
 - :func:`export_store` / :func:`import_store` -- move a simulated PFS's
   contents to and from a real directory on disk, so simulated runs can
-  leave artifacts that other tooling can read back.
+  leave artifacts that other tooling can read back;
+- :func:`export_demo_trace` -- run the demo LowFive workflow and write
+  a Chrome/Perfetto ``trace_event`` JSON file.
 
-Also usable as a module: ``python -m repro.tools h5dump <dir> <file>``.
+Also usable as a module: ``python -m repro.tools h5dump <dir> <file>``
+or ``python -m repro.tools trace <out.json>``.
 """
 
 from repro.tools.inspect import h5dump, h5ls
@@ -15,6 +18,7 @@ from repro.tools.timeline import (
     render_matrix,
     render_timeline,
 )
+from repro.tools.trace import export_demo_trace, run_demo_workflow
 from repro.tools.transfer import export_store, import_store
 
 __all__ = [
@@ -25,4 +29,6 @@ __all__ = [
     "render_timeline",
     "communication_matrix",
     "render_matrix",
+    "export_demo_trace",
+    "run_demo_workflow",
 ]

@@ -1,4 +1,5 @@
-"""Module entry point: ``python -m repro.tools h5dump <dir> <file>``."""
+"""Module entry point: ``python -m repro.tools h5dump <dir> <file>``
+or ``python -m repro.tools trace <out.json>``."""
 
 import sys
 

@@ -5,9 +5,16 @@ Enable tracing with ``Engine(nprocs, trace=True)`` (or
 
 - :func:`render_timeline` -- one lane per rank over virtual time, with
   ``s`` = send, ``r`` = receive, ``C`` = collective (like a coarse
-  Jumpshot view);
+  Jumpshot view). Also accepts obs
+  :class:`~repro.obs.spans.SpanEvent` intervals (mixed freely with
+  point events): spans paint their whole ``[t0, t1]`` extent with a
+  per-category mark (``C`` simmpi, ``L`` lowfive, ``P`` pfs, ``W``
+  workflow);
 - :func:`communication_matrix` -- rank-to-rank payload bytes;
 - :func:`render_matrix` -- the matrix as a heat table.
+
+For interactive viewers (Perfetto, ``chrome://tracing``) export the
+same run with :func:`repro.obs.write_chrome_trace` instead.
 """
 
 from __future__ import annotations
@@ -16,41 +23,86 @@ import io
 
 import numpy as np
 
+#: Lane mark per span category (anything unknown renders as ``=``).
+_SPAN_MARKS = {
+    "simmpi": "C",
+    "lowfive": "L",
+    "pfs": "P",
+    "workflow": "W",
+}
+
+
+def _is_span(e) -> bool:
+    """Interval events carry ``t0``/``t1``; point events carry ``vtime``."""
+    return hasattr(e, "t1")
+
 
 def render_timeline(events, nprocs: int, width: int = 72,
                     title: str = "") -> str:
-    """One character lane per rank; columns are virtual-time buckets."""
+    """One character lane per rank; columns are virtual-time buckets.
+
+    ``events`` may mix point :class:`~repro.simmpi.TraceEvent`\\ s and obs
+    :class:`~repro.obs.spans.SpanEvent`\\ s. Events whose rank is
+    ``>= nprocs`` (e.g. a trace captured on a larger world than the
+    caller expected) grow the lane table instead of crashing.
+    """
     if not events:
         return "(no events traced)\n"
-    t_end = max(e.vtime for e in events)
+    points = [e for e in events if not _is_span(e)]
+    spans = [e for e in events if _is_span(e)]
+    t_end = max([e.vtime for e in points] + [e.t1 for e in spans])
     t_end = t_end if t_end > 0 else 1.0
-    lanes = [[" "] * width for _ in range(nprocs)]
-    marks = {"send": "s", "recv": "r", "coll": "C"}
-    for e in events:
-        col = min(width - 1, int(e.vtime / t_end * (width - 1)))
-        mark = marks.get(e.kind, "?")
-        cur = lanes[e.rank][col]
-        if cur == " ":
-            lanes[e.rank][col] = mark
+    nlanes = max(nprocs, max(e.rank for e in events) + 1)
+    lanes = [[" "] * width for _ in range(nlanes)]
+
+    def col(t: float) -> int:
+        return min(width - 1, int(t / t_end * (width - 1)))
+
+    def put(rank: int, c: int, mark: str, over=()) -> None:
+        cur = lanes[rank][c]
+        if cur == " " or cur in over:
+            lanes[rank][c] = mark
         elif cur != mark:
-            lanes[e.rank][col] = "*"
+            lanes[rank][c] = "*"
+
+    # Spans paint the background; point events draw over them.
+    span_bg = set(_SPAN_MARKS.values()) | {"="}
+    for e in spans:
+        mark = _SPAN_MARKS.get(e.cat, "=")
+        for c in range(col(e.t0), col(e.t1) + 1):
+            put(e.rank, c, mark)
+    marks = {"send": "s", "recv": "r", "coll": "C"}
+    for e in points:
+        put(e.rank, col(e.vtime), marks.get(e.kind, "?"), over=span_bg)
+
     out = io.StringIO()
     if title:
         out.write(title + "\n")
-    for r in range(nprocs):
+    for r in range(nlanes):
         out.write(f"rank {r:>3} |" + "".join(lanes[r]) + "|\n")
     out.write(" " * 9 + f"0{'virtual time'.center(width - 10)}"
               f"{t_end:.2e}s\n")
-    out.write("         s=send r=recv C=collective *=mixed\n")
+    legend = "         s=send r=recv C=collective *=mixed"
+    if spans:
+        legend += " L=lowfive P=pfs W=workflow"
+    out.write(legend + "\n")
     return out.getvalue()
 
 
 def communication_matrix(events, nprocs: int) -> np.ndarray:
-    """Bytes sent from rank i to rank j (point-to-point only)."""
-    m = np.zeros((nprocs, nprocs), dtype=np.int64)
-    for e in events:
-        if e.kind == "send" and 0 <= e.peer < nprocs:
-            m[e.rank, e.peer] += e.nbytes
+    """Bytes sent from rank i to rank j (point-to-point only).
+
+    The matrix grows beyond ``nprocs`` when send events carry ranks or
+    peers outside ``[0, nprocs)``.
+    """
+    sends = [e for e in events if not _is_span(e) and e.kind == "send"
+             and e.peer >= 0]
+    n = nprocs
+    for e in sends:
+        n = max(n, e.rank + 1, e.peer + 1)
+    m = np.zeros((n, n), dtype=np.int64)
+    for e in sends:
+        m[e.rank, e.peer] += e.nbytes
     return m
 
 

@@ -49,7 +49,8 @@ def import_store(directory: str, store: PFSStore | None = None) -> PFSStore:
 
 
 def main(argv=None) -> int:
-    """``python -m repro.tools h5dump|h5ls <dir> <file>``"""
+    """``python -m repro.tools h5dump|h5ls <dir> <file>`` or
+    ``python -m repro.tools trace <out.json>``."""
     import argparse
 
     from repro.tools.inspect import h5dump, h5ls
@@ -57,15 +58,40 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(
         prog="repro.tools",
         description="Inspect native-format files exported from a "
-                    "simulated PFS.",
+                    "simulated PFS, or export a demo run as a Chrome "
+                    "trace.",
     )
-    ap.add_argument("command", choices=["h5ls", "h5dump"])
-    ap.add_argument("directory", help="directory written by export_store")
-    ap.add_argument("file", help="file name within the directory")
+    sub = ap.add_subparsers(dest="command", required=True)
+    for cmd, fn in (("h5ls", h5ls), ("h5dump", h5dump)):
+        p = sub.add_parser(cmd, help=f"{cmd} a file from an exported "
+                                     "store directory")
+        p.add_argument("directory", help="directory written by export_store")
+        p.add_argument("file", help="file name within the directory")
+        p.set_defaults(inspect=fn)
+    pt = sub.add_parser(
+        "trace",
+        help="run the demo LowFive workflow and write a Chrome/Perfetto "
+             "trace_event JSON file",
+    )
+    pt.add_argument("output", help="output .json path")
+    pt.add_argument("--nprod", type=int, default=4,
+                    help="producer ranks (default 4)")
+    pt.add_argument("--ncons", type=int, default=2,
+                    help="consumer ranks (default 2)")
+    pt.add_argument("--mode", choices=["memory", "file", "both"],
+                    default="memory", help="LowFive transport mode")
     args = ap.parse_args(argv)
+
+    if args.command == "trace":
+        from repro.tools.trace import export_demo_trace, trace_summary
+
+        doc = export_demo_trace(args.output, nprod=args.nprod,
+                                ncons=args.ncons, mode=args.mode)
+        print(f"wrote {args.output}: {trace_summary(doc)}")
+        return 0
+
     store = import_store(args.directory)
     handle = store.open(args.file)
     blob = handle.pread(0, handle.size)
-    fn = h5ls if args.command == "h5ls" else h5dump
-    print(fn(blob, args.file), end="")
+    print(args.inspect(blob, args.file), end="")
     return 0

@@ -28,6 +28,9 @@ class WorkflowResult:
     bytes_sent: int = 0
     #: Communication trace (populated when ``run(trace=True)``).
     trace: list = field(default_factory=list)
+    #: The run's :class:`~repro.obs.ObsContext` (metrics, spans,
+    #: flight recorder) -- always populated.
+    obs: object = None
 
 
 class Workflow:
@@ -130,6 +133,7 @@ class Workflow:
         start = 0
         for t in self._tasks:
             ranges[t.name] = list(range(start, start + t.nprocs))
+            engine.obs.set_task(t.name, ranges[t.name])
             start += t.nprocs
 
         # One intercomm pair per link, shared objects across threads.
@@ -160,7 +164,9 @@ class Workflow:
             ctx = contexts[me.name]
             # Each rank re-binds the local comm (same shared object works
             # for all ranks of the task; split returned equivalent comms).
-            return me.main(ctx)
+            with engine.obs.span(world, f"task.{me.name}", cat="workflow",
+                                 task=me.name, task_rank=ctx.rank):
+                return me.main(ctx)
 
         res = engine.run(main)
         returns = {
@@ -173,4 +179,5 @@ class Workflow:
             messages=res.messages,
             bytes_sent=res.bytes_sent,
             trace=engine.sorted_trace() if trace else [],
+            obs=engine.obs,
         )

@@ -1,0 +1,144 @@
+"""Chrome trace export: schema, roundtrip, validation, CLI verb."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    ObsContext,
+    chrome_trace,
+    metrics_dump,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.export import WORLD_PID
+from repro.simmpi import TraceEvent
+
+
+def _demo_obs():
+    obs = ObsContext()
+    obs.set_task("sim", [0, 1])
+    obs.set_task("ana", [2])
+    obs.spans.add("lowfive.index", "lowfive", 0, 0.0, 1.5, {"file": "a.h5"})
+    obs.spans.add("task.ana", "workflow", 2, 0.0, 3.0)
+    obs.spans.instant("stage.done", "lowfive", 1, 2.0)
+    obs.metrics.inc("simmpi.send.bytes", 512, rank=0)
+    return obs
+
+
+class TestChromeTrace:
+    def test_pid_per_task_tid_per_rank(self):
+        doc = chrome_trace(_demo_obs())
+        procs = {e["args"]["name"]: e["pid"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert procs["sim"] == 1 and procs["ana"] == 2
+        assert procs["world"] == WORLD_PID
+        span = [e for e in doc["traceEvents"]
+                if e["ph"] == "X" and e["name"] == "lowfive.index"][0]
+        assert span["pid"] == procs["sim"] and span["tid"] == 0
+
+    def test_unknown_rank_maps_to_world(self):
+        obs = ObsContext()
+        obs.spans.add("s", "", 5, 0.0, 1.0)
+        doc = chrome_trace(obs)
+        span = [e for e in doc["traceEvents"] if e["ph"] == "X"][0]
+        assert span["pid"] == WORLD_PID
+
+    def test_virtual_seconds_become_microseconds(self):
+        doc = chrome_trace(_demo_obs())
+        span = [e for e in doc["traceEvents"]
+                if e["ph"] == "X" and e["name"] == "lowfive.index"][0]
+        assert span["ts"] == 0.0 and span["dur"] == pytest.approx(1.5e6)
+
+    def test_span_args_carry_ids_and_labels(self):
+        obs = ObsContext()
+        parent = obs.spans.begin(0, "outer", "c", 0.0)
+        obs.spans.end(obs.spans.begin(0, "inner", "c", 0.5), 1.0)
+        obs.spans.end(parent, 2.0)
+        doc = chrome_trace(obs)
+        by_name = {e["name"]: e for e in doc["traceEvents"]
+                   if e["ph"] == "X"}
+        assert by_name["inner"]["args"]["parent_id"] == \
+            by_name["outer"]["args"]["span_id"]
+
+    def test_legacy_events_become_instants(self):
+        doc = chrome_trace(_demo_obs(),
+                           [TraceEvent(0.25, "send", 0, 1, 7, 64)])
+        inst = [e for e in doc["traceEvents"]
+                if e["ph"] == "i" and e.get("cat") == "simmpi"][0]
+        assert inst["args"] == {"kind": "send", "peer": 1, "tag": 7,
+                                "nbytes": 64}
+        assert inst["ts"] == pytest.approx(0.25e6)
+
+    def test_metrics_ride_in_other_data(self):
+        doc = chrome_trace(_demo_obs())
+        m = doc["otherData"]["metrics"]
+        assert m["counter"]["simmpi.send.bytes{rank=0}"]["total"] == 512
+
+    def test_json_roundtrip_validates(self):
+        doc = chrome_trace(_demo_obs(), [TraceEvent(0.1, "coll", 1, -1, 0, 0)])
+        validate_chrome_trace(doc)
+        reloaded = json.loads(json.dumps(doc))
+        validate_chrome_trace(reloaded)
+        assert reloaded["displayTimeUnit"] == "ms"
+
+
+class TestValidate:
+    def test_rejects_bad_envelope(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"events": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": {}})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "B", "name": "x", "pid": 0, "tid": 0, "ts": 0}
+            ]})
+
+    def test_rejects_incomplete_x_event(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 0}
+            ]})
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "X", "name": "x", "pid": 0, "tid": 0,
+                 "ts": 0, "dur": -1}
+            ]})
+
+
+class TestMetricsDump:
+    def test_accepts_registry_and_snapshot(self):
+        obs = _demo_obs()
+        assert metrics_dump(obs.metrics) == \
+            metrics_dump(obs.metrics.snapshot())
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            metrics_dump({"not": "a registry"})
+
+
+class TestWrite:
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "t.json"
+        doc = write_chrome_trace(str(path), _demo_obs())
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(doc))
+        validate_chrome_trace(on_disk)
+
+
+class TestCLITraceVerb:
+    def test_cli_exports_multilayer_trace(self, tmp_path, capsys):
+        from repro.tools.transfer import main
+
+        path = tmp_path / "demo.json"
+        assert main(["trace", str(path), "--nprod", "2",
+                     "--ncons", "1"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        validate_chrome_trace(doc)
+        cats = {e["cat"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"simmpi", "lowfive", "workflow"} <= cats

@@ -1,0 +1,59 @@
+"""Flight recorder: bounded per-rank rings, eviction, dumps."""
+
+import pytest
+
+from repro.obs.recorder import FlightRecorder
+
+
+class TestRecording:
+    def test_records_in_order(self):
+        fr = FlightRecorder(capacity=8)
+        fr.record(0, 0.1, "send", "msg", peer=1)
+        fr.record(0, 0.2, "recv", "msg", peer=1)
+        evs = fr.events(0)
+        assert [e.kind for e in evs] == ["send", "recv"]
+        assert evs[0].detail == (("peer", 1),)
+
+    def test_eviction_keeps_newest(self):
+        fr = FlightRecorder(capacity=3)
+        for i in range(10):
+            fr.record(0, float(i), "tick", str(i))
+        evs = fr.events(0)
+        assert len(evs) == 3
+        assert [e.name for e in evs] == ["7", "8", "9"]
+
+    def test_rings_are_per_rank(self):
+        fr = FlightRecorder(capacity=2)
+        for i in range(5):
+            fr.record(0, float(i), "a", "x")
+        fr.record(1, 99.0, "b", "y")
+        assert len(fr.events(0)) == 2
+        assert len(fr.events(1)) == 1
+        assert fr.ranks() == [0, 1]
+
+    def test_all_events_time_sorted(self):
+        fr = FlightRecorder()
+        fr.record(1, 2.0, "b", "later")
+        fr.record(0, 1.0, "a", "earlier")
+        names = [e.name for e in fr.events()]
+        assert names == ["earlier", "later"]
+
+    def test_unknown_rank_empty(self):
+        assert FlightRecorder().events(7) == []
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestDump:
+    def test_dump_is_json_shape(self):
+        import json
+
+        fr = FlightRecorder(capacity=4)
+        fr.record(2, 0.5, "coll", "mpi.barrier", nbytes=0)
+        d = fr.dump()
+        json.dumps(d)
+        assert list(d) == [2]
+        assert d[2][0] == {"vtime": 0.5, "rank": 2, "kind": "coll",
+                           "name": "mpi.barrier", "nbytes": 0}

@@ -102,6 +102,38 @@ class TestTimeline:
         out = render_timeline(events, 1, width=10)
         assert "*" in out
 
+    def test_rank_beyond_nprocs_grows_lanes(self):
+        # Regression: events from a larger world than the caller's
+        # nprocs used to crash (IndexError) or mislabel lanes.
+        events = [
+            TraceEvent(0.5, "send", 5, 1, 0, 10),
+            TraceEvent(1.0, "coll", 0, -1, 0, 0),
+        ]
+        out = render_timeline(events, 2, width=20)
+        assert "rank   5 |" in out
+        lane5 = [ln for ln in out.splitlines()
+                 if ln.startswith("rank   5")][0]
+        assert "s" in lane5
+
+    def test_spans_render_as_intervals(self):
+        from repro.obs.spans import SpanRecorder
+
+        rec = SpanRecorder()
+        rec.add("lowfive.index", "lowfive", 0, 0.0, 0.5)
+        rec.add("pfs.write", "pfs", 1, 0.5, 1.0)
+        events = rec.spans() + [TraceEvent(1.0, "coll", 0, -1, 0, 0)]
+        out = render_timeline(events, 2, width=20)
+        assert "LLL" in out and "PPP" in out  # painted extents
+        assert "C" in out                     # points drawn on top
+        assert "L=lowfive" in out             # legend extended
+
+    def test_unknown_span_category_mark(self):
+        from repro.obs.spans import SpanRecorder
+
+        rec = SpanRecorder()
+        rec.add("custom", "mystery", 0, 0.0, 1.0)
+        assert "=" in render_timeline(rec.spans(), 1, width=12)
+
 
 class TestMatrix:
     def test_matrix_counts_bytes(self):
@@ -114,6 +146,12 @@ class TestMatrix:
         events = [TraceEvent(0.1, "coll", 0, -1, 0, 999)]
         m = communication_matrix(events, 2)
         assert m.sum() == 0
+
+    def test_matrix_grows_beyond_nprocs(self):
+        events = [TraceEvent(0.1, "send", 4, 1, 0, 10)]
+        m = communication_matrix(events, 2)
+        assert m.shape == (5, 5)
+        assert m[4, 1] == 10
 
     def test_render_matrix_totals(self):
         m = np.array([[0, 100], [25, 0]])
