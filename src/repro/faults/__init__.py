@@ -1,0 +1,48 @@
+"""Deterministic fault injection for the simulated machine.
+
+A :class:`FaultPlan` is built from a seed plus declarative rules and is
+threaded through the whole stack (``Engine(faults=plan)``,
+``Workflow.run(faults=plan)``). Every injection decision is a pure
+function of ``(seed, event key, per-link ordinal)`` computed with a
+keyed hash -- no wall clock, no global randomness -- so a seeded faulty
+run is *bit-deterministic and replayable*: two runs with the same seed
+(and fresh, identically-constructed plans) produce identical virtual
+clocks, traces and redistributed bytes.
+
+Fault taxonomy (see DESIGN.md "Fault injection & recovery"):
+
+- **message faults** (:class:`MessageFaultRule`): per-link extra
+  latency, wire-time slowdown, and duplicate delivery, applied in
+  :meth:`~repro.simmpi.engine.Engine.deliver`;
+- **rank crashes** (:class:`CrashRule`): a rank raises a typed
+  :class:`~repro.simmpi.errors.RankFailure` once its virtual clock
+  reaches the configured time -- peers are torn down cleanly instead of
+  hanging;
+- **degraded OSTs** (:class:`OstSlowRule`): per-OST bandwidth
+  multipliers folded into :class:`~repro.pfs.lustre.LustreModel`;
+- **RPC losses** (:class:`RpcFaultRule`): request attempts are dropped
+  before reaching the network, exercising
+  :class:`~repro.lowfive.rpc.RPCClient` timeout/retry/backoff.
+
+Every injected fault is counted in ``repro.obs`` metrics
+(``faults.injected{kind=...}``) and annotated as an instant event in
+the exported Perfetto trace.
+"""
+
+from repro.faults.plan import (
+    CrashRule,
+    FaultPlan,
+    MessageDecision,
+    MessageFaultRule,
+    OstSlowRule,
+    RpcFaultRule,
+)
+
+__all__ = [
+    "FaultPlan",
+    "MessageFaultRule",
+    "MessageDecision",
+    "CrashRule",
+    "OstSlowRule",
+    "RpcFaultRule",
+]

@@ -27,7 +27,14 @@ Typical wiring (one producer task, one consumer task)::
 """
 
 from repro.lowfive.config import LowFiveConfig, CostConfig
-from repro.lowfive.rpc import RPCServer, RPCClient
+from repro.lowfive.rpc import (
+    RetriesExhausted,
+    RetryPolicy,
+    RPCClient,
+    RPCError,
+    RPCServer,
+    RPCTimeout,
+)
 from repro.lowfive.vol_base import LowFiveBase
 from repro.lowfive.vol_metadata import MetadataVOL
 from repro.lowfive.vol_dist import DistMetadataVOL
@@ -38,6 +45,10 @@ __all__ = [
     "CostConfig",
     "RPCServer",
     "RPCClient",
+    "RPCError",
+    "RPCTimeout",
+    "RetriesExhausted",
+    "RetryPolicy",
     "LowFiveBase",
     "MetadataVOL",
     "DistMetadataVOL",

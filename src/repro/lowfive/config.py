@@ -33,12 +33,23 @@ class CostConfig:
         hand-written exchange because the consumer waits for the
         producer's file close and the index is collective (paper
         Sec. IV-B(d) hypothesis); hence a factor above 1.
+    rpc_timeout:
+        Virtual seconds an RPC client waits before declaring one call
+        attempt lost (see :class:`~repro.lowfive.rpc.RetryPolicy`).
+    rpc_max_retries:
+        Attempts after the first before an RPC call gives up with
+        :class:`~repro.lowfive.rpc.RetriesExhausted`.
+    rpc_backoff:
+        Exponential-backoff multiplier between RPC attempts.
     """
 
     per_h5_op: float = 5e-6
     per_element_handle: float = 5.0e-8
     per_box_test: float = 2.0e-7
     sync_factor: float = 1.5
+    rpc_timeout: float = 0.05
+    rpc_max_retries: int = 3
+    rpc_backoff: float = 2.0
 
 
 class LowFiveConfig:

@@ -14,7 +14,7 @@ every remote rank of every intercomm is done.
 
 from __future__ import annotations
 
-import time
+from dataclasses import dataclass
 
 from repro.simmpi import ANY_SOURCE, Intercomm
 
@@ -30,6 +30,45 @@ class RPCError(RuntimeError):
     """A handler raised, or an unknown function was called."""
 
 
+class RPCTimeout(RPCError):
+    """An RPC exchange made no progress within its virtual-time bound."""
+
+
+class RetriesExhausted(RPCTimeout):
+    """Every attempt of a call was lost; the retry budget is spent.
+
+    Subclasses :class:`RPCTimeout` (and hence :class:`RPCError`) so
+    callers that only distinguish "RPC failed" keep working, while
+    fault-tolerance tests can assert the precise terminal state.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry/backoff behaviour of an :class:`RPCClient`.
+
+    Attributes
+    ----------
+    max_retries:
+        Additional attempts after the first (0 = fail on first loss).
+    timeout:
+        Virtual seconds the client waits before concluding an attempt
+        was lost. Charged to the caller's virtual clock per lost
+        attempt; no real time passes.
+    backoff:
+        Multiplier applied to ``timeout`` on each successive attempt
+        (exponential backoff).
+    """
+
+    max_retries: int = 0
+    timeout: float = 0.05
+    backoff: float = 2.0
+
+    def wait_for(self, attempt: int) -> float:
+        """Virtual seconds to wait out the ``attempt``-th lost try."""
+        return self.timeout * self.backoff**attempt
+
+
 class Defer(Exception):
     """Raised by a handler to postpone a request to the next serve epoch.
 
@@ -40,10 +79,20 @@ class Defer(Exception):
 
 
 class RPCClient:
-    """Issues calls to the remote group of an intercommunicator."""
+    """Issues calls to the remote group of an intercommunicator.
 
-    def __init__(self, inter: Intercomm):
+    Parameters
+    ----------
+    inter:
+        The intercommunicator whose remote group hosts the servers.
+    retry:
+        Optional :class:`RetryPolicy` making calls survive injected
+        request losses; the default retries nothing (first loss fails).
+    """
+
+    def __init__(self, inter: Intercomm, retry: RetryPolicy | None = None):
         self.inter = inter
+        self.retry = retry if retry is not None else RetryPolicy()
 
     @property
     def remote_size(self) -> int:
@@ -51,13 +100,40 @@ class RPCClient:
         return self.inter.remote_size
 
     def call(self, dest: int, fn: str, *args, nbytes: int | None = None):
-        """Blocking call of ``fn(*args)`` on remote rank ``dest``."""
-        self.inter.send((fn, args), dest, TAG_REQUEST, nbytes=nbytes)
-        reply, _ = self.inter.recv(source=dest, tag=TAG_REPLY)
-        ok, payload = reply
-        if not ok:
-            raise RPCError(f"remote {fn!r} failed: {payload}")
-        return payload
+        """Blocking call of ``fn(*args)`` on remote rank ``dest``.
+
+        When the engine carries a fault plan, each attempt may be lost
+        before reaching the network; a lost attempt charges this rank
+        ``retry.wait_for(attempt)`` virtual seconds (the timeout it
+        would have waited) and is retried up to ``retry.max_retries``
+        times before :class:`RetriesExhausted` is raised.
+        """
+        policy = self.retry
+        plan = getattr(self.inter.engine, "faults", None)
+        attempts = policy.max_retries + 1
+        for attempt in range(attempts):
+            if plan is not None:
+                me = self.inter.world_rank(self.inter.rank)
+                if plan.rpc_lost(me, dest, fn, attempt):
+                    obs = self.inter.engine.obs
+                    obs.fault(me, self.inter.vtime, "rpc_lost",
+                              fn=fn, dest=dest, attempt=attempt)
+                    # Wait out the attempt's timeout in virtual time.
+                    self.inter.compute(policy.wait_for(attempt))
+                    if attempt < attempts - 1:
+                        obs.metrics.inc("rpc.retry.count", 1,
+                                        fn=fn, rank=me)
+                    continue
+            self.inter.send((fn, args), dest, TAG_REQUEST, nbytes=nbytes)
+            reply, _ = self.inter.recv(source=dest, tag=TAG_REPLY)
+            ok, payload = reply
+            if not ok:
+                raise RPCError(f"remote {fn!r} failed: {payload}")
+            return payload
+        raise RetriesExhausted(
+            f"rpc {fn!r} to remote rank {dest}: all {attempts} attempts "
+            "lost (retry budget spent)"
+        )
 
     def notify(self, dest: int, fn: str, *args,
                nbytes: int | None = None) -> None:
@@ -77,10 +153,6 @@ class RPCServer:
     sent back as the reply. Control notifications dispatch to handlers
     registered with :meth:`on_notify` and produce no reply.
     """
-
-    #: Real-time sleep between empty polls (the simulated clock is not
-    #: advanced by idle waiting -- servers are passive between requests).
-    _IDLE_SLEEP = 0.0005
 
     def __init__(self):
         self._inters: list[Intercomm] = []
@@ -156,40 +228,80 @@ class RPCServer:
                 progressed = True
         return progressed
 
+    def _global_vtime(self) -> float:
+        """Furthest virtual clock of any rank on the machine.
+
+        The serve loop's notion of progress: while *someone* is still
+        computing or communicating, the machine is alive even if this
+        server sees no traffic.
+        """
+        engine = self._inters[0].engine
+        return max(p.clock for p in engine.procs)
+
+    def _has_inbound(self, proc) -> bool:
+        """True when any attached intercomm has an undelivered request
+        or control message waiting; must hold ``proc.lock``."""
+        for inter in self._inters:
+            box = proc.mailbox.get(inter.comm_id)
+            if not box:
+                continue
+            for m in box:
+                if m.tag in (TAG_REQUEST, TAG_CTRL):
+                    return True
+        return False
+
     def serve(self, timeout: float = 60.0) -> None:
         """Answer requests until every remote rank has sent ``done``.
 
         The paper's Algorithm 2: producers sit in this loop after
         closing a file, answering intersection and data queries.
-        ``timeout`` is real time between handled messages; exceeding it
-        means a peer hung, so we fail loudly.
+
+        ``timeout`` is measured on the *virtual* clock: if the
+        machine's global virtual time advances ``timeout`` simulated
+        seconds past the last handled message without this server
+        seeing traffic, the consumers are presumed wedged and
+        :class:`RPCTimeout` is raised. A machine that stops advancing
+        entirely (all peers exited without signalling done) is caught
+        by the engine's real-time deadlock watchdog instead, which
+        raises :class:`~repro.simmpi.DeadlockError`.
         """
         if not self._inters:
             return
+        engine = self._inters[0].engine
+        proc = engine.current_proc()
         # Replay requests deferred from earlier epochs (e.g. queries for
         # a file that had not been closed/indexed at the time).
         replay, self._pending = self._pending, []
         for inter, payload, source in replay:
             self._handle_request(inter, payload, source)
-        idle = 0.0
+        last_progress = self._global_vtime()
         while not self._all_done():
-            self._inters[0].engine.check_failed()
+            engine.check_failed()
+            engine.maybe_crash()
             if self.poll_once():
-                idle = 0.0
+                last_progress = self._global_vtime()
                 # New traffic may unblock previously deferred requests
                 # (e.g. a registration arriving completes coverage).
                 if self._pending:
                     replay, self._pending = self._pending, []
                     for inter, payload, source in replay:
                         self._handle_request(inter, payload, source)
-            else:
-                if idle >= timeout:
-                    raise RPCError(
-                        f"serve loop idle for {timeout:.0f}s real time; "
-                        "consumers never signalled done"
-                    )
-                time.sleep(self._IDLE_SLEEP)
-                idle += self._IDLE_SLEEP
+                continue
+            if self._global_vtime() - last_progress >= timeout:
+                raise RPCTimeout(
+                    f"serve loop starved for {timeout:.0f}s virtual "
+                    "time; consumers never signalled done"
+                )
+            # Sleep until traffic arrives or the machine advances past
+            # the virtual deadline; the engine watchdog bounds real time.
+            with proc.cond:
+                engine.wait_on(
+                    proc.cond,
+                    lambda: (self._has_inbound(proc)
+                             or self._global_vtime() - last_progress
+                             >= timeout),
+                    "rpc traffic",
+                )
         # Reset for a potential next serve epoch (next file close).
         for inter in self._inters:
             self._done[id(inter)] = set()

@@ -32,7 +32,7 @@ from repro.h5 import format as h5format
 from repro.h5.errors import NotFoundError
 from repro.h5.objects import DatasetNode, FileNode, GroupNode
 from repro.lowfive.profile import PhaseStats, Profiler
-from repro.lowfive.rpc import Defer, RPCClient, RPCServer
+from repro.lowfive.rpc import Defer, RetryPolicy, RPCClient, RPCServer
 from repro.lowfive.vol_metadata import LFFile, LFToken, MetadataVOL
 
 
@@ -101,6 +101,13 @@ class DistMetadataVOL(MetadataVOL):
     def __init__(self, comm, under=None, config=None, costs=None):
         super().__init__(under, config, costs)
         self.comm = comm
+        #: Retry policy every remote-file RPC client is built with, so
+        #: metadata/intersects/read calls ride out injected losses.
+        self.rpc_retry = RetryPolicy(
+            max_retries=self.costs.rpc_max_retries,
+            timeout=self.costs.rpc_timeout,
+            backoff=self.costs.rpc_backoff,
+        )
         self._producer_inters: list[tuple[str, object]] = []
         self._consumer_inters: list[tuple[str, object]] = []
         self._rank_states: dict[int, _RankState] = {}
@@ -358,7 +365,7 @@ class DistMetadataVOL(MetadataVOL):
             return self._remote_open_impl(fname, mode, fapl, comm, inter)
 
     def _remote_open_impl(self, fname: str, mode, fapl, comm, inter):
-        client = RPCClient(inter)
+        client = RPCClient(inter, retry=self.rpc_retry)
         me = 0 if comm is None else comm.rank
         dest = me % client.remote_size
         blob = client.call(dest, "metadata", fname)

@@ -34,7 +34,7 @@ from repro.diy import Bounds, RegularDecomposer
 from repro.h5 import format as h5format
 from repro.h5.errors import NotFoundError
 from repro.h5.objects import DatasetNode, OWN_SHALLOW
-from repro.lowfive.rpc import Defer, RPCClient, RPCServer
+from repro.lowfive.rpc import Defer, RPCClient, RPCServer, RPCTimeout
 from repro.lowfive.vol_dist import (
     DistMetadataVOL,
     _box_shape,
@@ -139,7 +139,7 @@ class StagedMetadataVOL(DistMetadataVOL):
     # -- consumer side -----------------------------------------------------------
 
     def _staged_open(self, fname, mode, fapl, comm, inter):
-        client = RPCClient(inter)
+        client = RPCClient(inter, retry=self.rpc_retry)
         me = 0 if comm is None else comm.rank
         blob = client.call(me % client.remote_size, "metadata", fname)
         root = h5format.decode_file(blob, fname)
@@ -217,12 +217,15 @@ class StagedMetadataVOL(DistMetadataVOL):
         RPCClient(inter).notify_all("__done__")
 
 
-def staging_main(inters, costs=None) -> dict:
+def staging_main(inters, costs=None, timeout: float = 60.0) -> dict:
     """Run one staging rank until every client rank has sent done.
 
     ``inters`` are the staging-side views of the producer and consumer
-    intercommunicators. Returns ``{file: pieces held}`` counts (useful
-    for tests/monitoring).
+    intercommunicators. ``timeout`` is the virtual seconds the machine
+    may advance without this rank seeing traffic before it gives up
+    with :class:`~repro.lowfive.rpc.RPCTimeout` (the engine's real-time
+    watchdog backstops a fully stalled machine). Returns ``{file:
+    pieces held}`` counts (useful for tests/monitoring).
     """
     from repro.lowfive.config import CostConfig
 
@@ -289,8 +292,6 @@ def staging_main(inters, costs=None) -> dict:
     # Staged data bundles arrive on their own tag; fold them into the
     # serve loop by polling both lanes. Pieces can outrace the skeleton
     # (different producer ranks), so they wait in ``pending_pieces``.
-    import time
-
     pending_pieces: list[tuple[str, list]] = []
 
     def _apply(fname, payload):
@@ -324,9 +325,18 @@ def staging_main(inters, costs=None) -> dict:
             pending_pieces[:] = still
         return progressed
 
-    idle = 0.0
+    engine = inters[0].engine
+    proc = engine.current_proc()
+
+    def _inbound() -> bool:
+        # Any message on a staging comm is ours (requests, control
+        # notifications, or staged bundles); must hold ``proc.lock``.
+        return any(proc.mailbox.get(i.comm_id) for i in inters)
+
+    last_progress = server._global_vtime()
     while not server._all_done():
-        inters[0].engine.check_failed()
+        engine.check_failed()
+        engine.maybe_crash()
         progressed = drain_stage()
         if server.poll_once():
             progressed = True
@@ -335,12 +345,20 @@ def staging_main(inters, costs=None) -> dict:
                 for inter, payload, source in replay:
                     server._handle_request(inter, payload, source)
         if progressed:
-            idle = 0.0
-        else:
-            time.sleep(0.0005)
-            idle += 0.0005
-            if idle > 60.0:
-                raise RuntimeError("staging rank idle too long")
+            last_progress = server._global_vtime()
+            continue
+        if server._global_vtime() - last_progress >= timeout:
+            raise RPCTimeout(
+                f"staging rank starved for {timeout:.0f}s virtual time"
+            )
+        with proc.cond:
+            engine.wait_on(
+                proc.cond,
+                lambda: (_inbound()
+                         or server._global_vtime() - last_progress
+                         >= timeout),
+                "staged traffic",
+            )
     return {fname: sum(len(n.pieces) for n in _tree(fname).walk()
                        if isinstance(n, DatasetNode))
             for fname in skeletons}

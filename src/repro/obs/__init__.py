@@ -89,6 +89,19 @@ class ObsContext:
         """Copy of the world-rank -> task-name map."""
         return dict(self._rank_tasks)
 
+    # -- fault annotations --------------------------------------------------
+
+    def fault(self, rank: int, t: float, kind: str, **labels) -> None:
+        """Account one injected fault on ``rank`` at virtual time ``t``.
+
+        Bumps the ``faults.injected`` counter (labelled by ``kind`` and
+        rank) and drops an instant event into the span stream so the
+        injection shows up in the exported Perfetto trace.
+        """
+        self.metrics.inc("faults.injected", 1, kind=kind, rank=rank)
+        self.spans.instant(f"fault.{kind}", "faults", rank, t, labels)
+        self.flight.record(rank, t, "fault", kind)
+
     # -- span production ---------------------------------------------------
 
     @contextmanager

@@ -48,6 +48,11 @@ class LustreModel:
         divided by ``1 + lock_factor * max(0, nprocs/stripe_count - 1)``.
     independent_penalty:
         Multiplier on transfer time for non-collective (independent) I/O.
+    ost_factors:
+        Optional per-OST bandwidth multipliers (fault injection: a slow
+        OST has a factor below 1). Striped I/O proceeds at the pace of
+        the slowest stripe, so one degraded OST drags the whole file;
+        empty means all OSTs are healthy.
     """
 
     ost_bandwidth: float = 500e6
@@ -57,6 +62,7 @@ class LustreModel:
     md_small_op: float = 2.0e-3
     lock_factor: float = 0.4
     independent_penalty: float = 3.0
+    ost_factors: tuple = ()
 
     # -- metadata ------------------------------------------------------------
 
@@ -74,10 +80,28 @@ class LustreModel:
 
     # -- bulk data ---------------------------------------------------------------
 
+    def slowest_ost_factor(self) -> float:
+        """Bandwidth factor of the slowest OST this file is striped over.
+
+        Striped transfers finish when the slowest stripe does, so the
+        whole file runs at this factor (capped at 1: a faster-than-
+        nominal OST cannot speed up its peers).
+        """
+        if not self.ost_factors:
+            return 1.0
+        used = self.ost_factors[: self.stripe_count]
+        return min(min(used), 1.0) if used else 1.0
+
+    def stripe_peak(self) -> float:
+        """Peak aggregate bandwidth over the stripe set, degraded by the
+        slowest OST."""
+        return self.stripe_count * self.ost_bandwidth \
+            * self.slowest_ost_factor()
+
     def aggregate_bandwidth(self, nprocs: int) -> float:
         """Effective aggregate bandwidth of ``nprocs`` writers/readers
         sharing one striped file."""
-        peak = self.stripe_count * self.ost_bandwidth
+        peak = self.stripe_peak()
         contention = 1.0 + self.lock_factor * max(
             0.0, nprocs / self.stripe_count - 1.0
         )
@@ -110,8 +134,7 @@ class LustreModel:
         see closer-to-peak bandwidth; real Nyx/Reeber measurements show
         reads far cheaper than writes (paper Table II).
         """
-        peak = self.stripe_count * self.ost_bandwidth
-        t = total_bytes / peak
+        t = total_bytes / self.stripe_peak()
         if not collective:
             t *= self.independent_penalty
         t += 1e-4 * math.log2(max(2, nprocs))

@@ -60,7 +60,8 @@ class TwoPhaseModel:
         nagg = self.naggregators(nprocs)
         per_agg = total_bytes / nagg
         nrounds = max(1, math.ceil(per_agg / self.cb_buffer))
-        stream = per_agg / self.lustre.ost_bandwidth
+        stream = per_agg / (self.lustre.ost_bandwidth
+                            * self.lustre.slowest_ost_factor())
         return stream + nrounds * self.lustre.md_small_op
 
     def collective_write_time(self, total_bytes: int, nprocs: int) -> float:

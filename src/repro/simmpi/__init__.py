@@ -30,6 +30,7 @@ Quickstart::
 from repro.simmpi.errors import (
     SimMPIError,
     DeadlockError,
+    RankFailure,
     WorkerAborted,
 )
 from repro.simmpi.netmodel import NetworkModel, payload_nbytes
@@ -41,6 +42,7 @@ from repro.simmpi.engine import Engine, TraceEvent, WorldResult, run_world
 __all__ = [
     "SimMPIError",
     "DeadlockError",
+    "RankFailure",
     "WorkerAborted",
     "NetworkModel",
     "payload_nbytes",

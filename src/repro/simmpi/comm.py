@@ -99,6 +99,7 @@ class Comm:
         if seconds < 0:
             raise ValueError("seconds must be >= 0")
         self._proc().clock += seconds
+        self.engine.maybe_crash()
 
     def charge_memcpy(self, nbytes: int) -> None:
         """Charge a bulk contiguous copy of ``nbytes`` to the clock."""
@@ -123,6 +124,7 @@ class Comm:
         """
         proc = self._proc()
         self.engine.check_failed()
+        self.engine.maybe_crash()
         nb = payload_nbytes(payload) if nbytes is None else int(nbytes)
         model = self.model
         proc.clock += model.msg_overhead
@@ -137,6 +139,8 @@ class Comm:
                 payload=payload,
                 nbytes=nb,
                 arrival=arrival,
+                src_world=proc.rank,
+                sent_at=proc.clock,
             )
         )
         self.engine.record(proc.clock, "send", proc.rank, dst_world,
@@ -148,11 +152,29 @@ class Comm:
         self.send(payload, dest, tag, nbytes=nbytes)
         return Request(self, "send")
 
+    @staticmethod
+    def _purge_consumed(proc, box) -> None:
+        """Drop messages whose twin (original or injected duplicate) was
+        already consumed; must hold ``proc.lock``."""
+        if not proc.consumed or not box:
+            return
+        live = [m for m in box
+                if m.seq not in proc.consumed
+                and (m.dup_of is None or m.dup_of not in proc.consumed)]
+        if len(live) != len(box):
+            box[:] = live
+
     def _pop_match(self, proc, source: int, tag: int):
-        """Pop the best matching message while holding ``proc.lock``."""
+        """Pop the best matching message while holding ``proc.lock``.
+
+        Injected duplicates are deduped here: the original always sorts
+        first (smaller seq, no later arrival), and consuming either twin
+        records its seq so the other is purged before it can match.
+        """
         box = proc.mailbox.get(self.comm_id)
         if not box:
             return None
+        self._purge_consumed(proc, box)
         best_i = -1
         for i, m in enumerate(box):
             if not m.matches(source, tag):
@@ -165,11 +187,17 @@ class Comm:
                     best_i = i
         if best_i < 0:
             return None
-        return box.pop(best_i)
+        m = box.pop(best_i)
+        if m.has_dup:
+            proc.consumed.add(m.seq)
+        if m.dup_of is not None:
+            proc.consumed.add(m.dup_of)
+        return m
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Blocking receive; returns ``(payload, Status)``."""
         proc = self._proc()
+        self.engine.maybe_crash()
         with proc.cond:
             msg_holder = []
 
@@ -186,6 +214,7 @@ class Comm:
             )
             msg = msg_holder[0]
         proc.clock = max(proc.clock, msg.arrival) + self.model.msg_overhead
+        self.engine.maybe_crash()
         self.engine.record(proc.clock, "recv", proc.rank,
                            self._src_world(msg.src), msg.tag,
                            msg.nbytes)
@@ -194,6 +223,7 @@ class Comm:
     def _try_recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Nonblocking receive; ``(payload, Status)`` or ``None``."""
         proc = self._proc()
+        self.engine.maybe_crash()
         with proc.cond:
             msg = self._pop_match(proc, source, tag)
         if msg is None:
@@ -221,6 +251,7 @@ class Comm:
                 box = proc.mailbox.get(self.comm_id)
                 if not box:
                     return None
+                self._purge_consumed(proc, box)
                 cands = [m for m in box if m.matches(source, tag)]
                 if not cands:
                     return None
@@ -262,6 +293,7 @@ class Comm:
 
     def _collective(self, kind: str, contribution, reducer, nbytes: int = 0):
         ctx = self.engine.coll_ctx(self.comm_id, self._participants())
+        self.engine.maybe_crash()
         proc = self._proc()
         me = self._my_coll_key()
         cost_kind = self._COST_ALIAS.get(kind, kind)

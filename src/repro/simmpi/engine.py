@@ -6,7 +6,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.obs import ObsContext
-from repro.simmpi.errors import DeadlockError, WorkerAborted
+from repro.simmpi.errors import DeadlockError, RankFailure, WorkerAborted
 from repro.simmpi.message import Message
 from repro.simmpi.netmodel import NetworkModel
 
@@ -24,7 +24,7 @@ def current_world_rank() -> int:
 class Proc:
     """Per-rank state: virtual clock and mailbox. Internal."""
 
-    __slots__ = ("rank", "clock", "lock", "cond", "mailbox")
+    __slots__ = ("rank", "clock", "lock", "cond", "mailbox", "consumed")
 
     def __init__(self, rank: int):
         self.rank = rank
@@ -33,6 +33,9 @@ class Proc:
         self.cond = threading.Condition(self.lock)
         # comm_id -> list[Message]; scanned for (source, tag) matches
         self.mailbox: dict[int, list[Message]] = {}
+        # seqs of consumed messages that have an injected duplicate in
+        # flight; lets the matcher drop the copy (dedup).
+        self.consumed: set[int] = set()
 
 
 @dataclass(frozen=True)
@@ -91,18 +94,24 @@ class Engine:
     obs:
         Observability context collecting metrics, spans and the flight
         recorder; a fresh :class:`~repro.obs.ObsContext` by default.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`; when given, message
+        deliveries and clock checkpoints consult it to inject seeded,
+        deterministic faults (delays, duplicates, rank crashes).
     """
 
     _POLL = 0.05  # condition-wait slice, seconds of real time
 
     def __init__(self, nprocs: int, model: NetworkModel | None = None,
                  timeout: float = 60.0, trace: bool = False,
-                 obs: ObsContext | None = None):
+                 obs: ObsContext | None = None, faults=None):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         self.nprocs = nprocs
         self.model = model if model is not None else NetworkModel()
         self.timeout = timeout
+        #: Fault-injection plan (``None`` = healthy machine).
+        self.faults = faults
         #: When True, every send/recv/collective appends a TraceEvent.
         self.trace = trace
         #: Unified telemetry (always on; the flight recorder is bounded).
@@ -210,13 +219,75 @@ class Engine:
             cond.wait(self._POLL)
             waited += self._POLL
 
+    # -- fault injection -----------------------------------------------------
+
+    def maybe_crash(self) -> None:
+        """Crash the calling rank if its fault-plan time has come.
+
+        Called at clock checkpoints (send/recv/collective/compute and
+        RPC serve loops); raises :class:`RankFailure` on the crashing
+        rank, which tears down every peer cleanly via the engine's
+        failure path instead of leaving them hanging.
+        """
+        plan = self.faults
+        if plan is None:
+            return
+        rank = current_world_rank()
+        proc = self.procs[rank]
+        t = plan.crash_vtime(rank)
+        if t is None or proc.clock < t:
+            return
+        plan.note_crash(rank)
+        self.obs.fault(rank, proc.clock, "crash")
+        raise RankFailure(rank, proc.clock)
+
+    def _inject_message_faults(self, msg: Message) -> Message | None:
+        """Apply the fault plan to ``msg``; returns an injected
+        duplicate copy to co-deliver, or ``None``."""
+        decision = self.faults.message_decision(msg.src_world,
+                                                msg.dst_world)
+        if decision is None:
+            return None
+        obs = self.obs
+        if decision.wire_factor != 1.0:
+            msg.arrival = msg.sent_at + (
+                (msg.arrival - msg.sent_at) * decision.wire_factor
+            )
+        if decision.extra_delay > 0.0:
+            msg.arrival += decision.extra_delay
+            obs.fault(msg.dst_world, msg.arrival, "msg_delay",
+                      src=msg.src_world, delay=decision.extra_delay)
+        if not decision.duplicate:
+            return None
+        msg.has_dup = True
+        obs.fault(msg.dst_world, msg.arrival, "msg_duplicate",
+                  src=msg.src_world)
+        return Message(
+            comm_id=msg.comm_id, src=msg.src, dst_world=msg.dst_world,
+            tag=msg.tag, payload=msg.payload, nbytes=msg.nbytes,
+            arrival=msg.arrival + decision.dup_delay,
+            src_world=msg.src_world, sent_at=msg.sent_at,
+            dup_of=msg.seq,
+        )
+
     # -- delivery ------------------------------------------------------------
 
     def deliver(self, msg: Message) -> None:
-        """Enqueue a message at its destination mailbox."""
+        """Enqueue a message at its destination mailbox.
+
+        When a fault plan is installed, the message may be delayed,
+        carried over a slowed wire, or duplicated (the duplicate is
+        deduped at match time, so protocols above never see it twice).
+        """
+        dup = None
+        if self.faults is not None:
+            dup = self._inject_message_faults(msg)
         dst = self.procs[msg.dst_world]
         with dst.cond:
-            dst.mailbox.setdefault(msg.comm_id, []).append(msg)
+            box = dst.mailbox.setdefault(msg.comm_id, [])
+            box.append(msg)
+            if dup is not None:
+                box.append(dup)
             dst.cond.notify_all()
         with self._stats_lock:
             self.n_messages += 1
@@ -270,9 +341,9 @@ class Engine:
 
 
 def run_world(nprocs: int, main, *, model: NetworkModel | None = None,
-              timeout: float = 60.0, args: tuple = (),
+              timeout: float = 60.0, faults=None, args: tuple = (),
               kwargs: dict | None = None) -> WorldResult:
     """Convenience wrapper: build an :class:`Engine` and run ``main``."""
-    return Engine(nprocs, model=model, timeout=timeout).run(
+    return Engine(nprocs, model=model, timeout=timeout, faults=faults).run(
         main, args=args, kwargs=kwargs
     )

@@ -25,3 +25,23 @@ class WorkerAborted(SimMPIError):
 
 class CommMismatchError(SimMPIError):
     """An operation addressed a rank outside the communicator."""
+
+
+class RankFailure(SimMPIError):
+    """A simulated rank crashed (fault injection).
+
+    Raised on the crashing rank when its virtual clock reaches the
+    :class:`~repro.faults.CrashRule` time; every peer is woken and torn
+    down (via :class:`WorkerAborted`) instead of hanging, and
+    :meth:`Engine.run` re-raises this original failure so callers see a
+    typed error identifying the dead rank.
+    """
+
+    def __init__(self, rank: int, vtime: float = 0.0):
+        super().__init__(
+            f"rank {rank} crashed at virtual time {vtime:.6f}s"
+        )
+        #: World rank that crashed.
+        self.rank = rank
+        #: Virtual clock of the rank when the crash fired.
+        self.vtime = vtime

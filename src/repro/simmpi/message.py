@@ -47,6 +47,10 @@ class Message:
     payload: object
     nbytes: int
     arrival: float  # virtual arrival time at the receiver
+    src_world: int = -1  # sender world rank (fault-plan link key)
+    sent_at: float = 0.0  # sender's clock at post time (wire-time base)
+    dup_of: int | None = None  # seq of the original, for injected copies
+    has_dup: bool = False  # an injected copy of this message exists
     seq: int = field(default_factory=lambda: next(_seq))
 
     def matches(self, source: int, tag: int) -> bool:

@@ -17,6 +17,7 @@ per-task singleton helper for shared objects (e.g. one VOL per task).
 """
 
 from repro.workflow.task import Task, TaskContext
-from repro.workflow.runner import Workflow, WorkflowResult
+from repro.workflow.runner import RestartPolicy, Workflow, WorkflowResult
 
-__all__ = ["Task", "TaskContext", "Workflow", "WorkflowResult"]
+__all__ = ["Task", "TaskContext", "RestartPolicy", "Workflow",
+           "WorkflowResult"]

@@ -4,8 +4,35 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.simmpi import Engine, Intercomm, NetworkModel
+from repro.simmpi import Engine, Intercomm, NetworkModel, RankFailure
 from repro.workflow.task import Task, TaskContext
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """What the runner does when a simulated rank crashes.
+
+    Attributes
+    ----------
+    max_retries:
+        Whole-workflow reruns allowed after a
+        :class:`~repro.simmpi.RankFailure` (the fault plan is carried
+        over, so a ``times=1`` crash fires once and the retry runs
+        clean).
+    on_exhausted:
+        ``"raise"`` re-raises the failure once retries are spent;
+        ``"continue"`` drops the failed task and everything connected
+        to it, then reruns the independent remainder of the graph.
+    """
+
+    max_retries: int = 0
+    on_exhausted: str = "raise"
+
+    def __post_init__(self):
+        if self.on_exhausted not in ("raise", "continue"):
+            raise ValueError(
+                "on_exhausted must be 'raise' or 'continue'"
+            )
 
 
 @dataclass
@@ -31,6 +58,12 @@ class WorkflowResult:
     #: The run's :class:`~repro.obs.ObsContext` (metrics, spans,
     #: flight recorder) -- always populated.
     obs: object = None
+    #: Final virtual clock of every rank of the successful attempt.
+    clocks: list = field(default_factory=list)
+    #: How many runs it took (1 = no restart was needed).
+    attempts: int = 1
+    #: Tasks dropped by a ``RestartPolicy(on_exhausted="continue")``.
+    failed_tasks: tuple = ()
 
 
 class Workflow:
@@ -116,29 +149,99 @@ class Workflow:
         return wf
 
     def run(self, model: NetworkModel | None = None,
-            timeout: float = 60.0, trace: bool = False) -> WorkflowResult:
+            timeout: float = 60.0, trace: bool = False, faults=None,
+            restart: RestartPolicy | None = None) -> WorkflowResult:
         """Execute the workflow on a fresh simulated machine.
 
         With ``trace=True`` every communication event is recorded and
         returned as ``WorkflowResult.trace`` (see
-        :mod:`repro.tools.timeline`).
+        :mod:`repro.tools.timeline`). ``faults`` installs a
+        :class:`~repro.faults.FaultPlan` on the machine; ``restart``
+        governs recovery when an injected crash kills a rank (default:
+        the :class:`~repro.simmpi.RankFailure` propagates).
         """
         if not self._tasks:
             raise ValueError("no tasks declared")
-        engine = Engine(self.total_procs, model=model, timeout=timeout,
-                        trace=trace)
+        policy = restart if restart is not None else RestartPolicy()
+        include = [t.name for t in self._tasks]
+        failed_tasks: list[str] = []
+        attempts = 0
+        tries_here = 0  # runs of the *current* task subset
+        while True:
+            attempts += 1
+            tries_here += 1
+            try:
+                result = self._run_once(include, model, timeout, trace,
+                                        faults, attempts)
+            except RankFailure as exc:
+                if tries_here <= policy.max_retries:
+                    continue
+                if policy.on_exhausted != "continue":
+                    raise
+                dead = self._component_of(include,
+                                          self._task_of_rank(include,
+                                                             exc.rank))
+                failed_tasks.extend(sorted(dead))
+                include = [n for n in include if n not in dead]
+                if not include:
+                    raise  # nothing independent left to salvage
+                tries_here = 0
+                continue
+            result.attempts = attempts
+            result.failed_tasks = tuple(failed_tasks)
+            return result
+
+    # -- restart support ---------------------------------------------------
+
+    def _task_of_rank(self, include: list, world_rank: int) -> str:
+        """Task owning ``world_rank`` under the ``include`` allocation."""
+        start = 0
+        for t in self._tasks:
+            if t.name not in include:
+                continue
+            if start <= world_rank < start + t.nprocs:
+                return t.name
+            start += t.nprocs
+        raise ValueError(f"rank {world_rank} belongs to no task")
+
+    def _component_of(self, include: list, name: str) -> set:
+        """Tasks reachable from ``name`` over links (either direction),
+        restricted to ``include``: losing one task poisons everything it
+        feeds or is fed by, but independent chains survive."""
+        alive = set(include)
+        component = {name}
+        frontier = [name]
+        while frontier:
+            cur = frontier.pop()
+            for a, b in self._links:
+                for nxt in ((b,) if a == cur else ()) + \
+                        ((a,) if b == cur else ()):
+                    if nxt in alive and nxt not in component:
+                        component.add(nxt)
+                        frontier.append(nxt)
+        return component
+
+    def _run_once(self, include: list, model, timeout: float, trace: bool,
+                  faults, attempt: int) -> WorkflowResult:
+        """One machine run of the tasks named in ``include``."""
+        tasks = [t for t in self._tasks if t.name in include]
+        engine = Engine(sum(t.nprocs for t in tasks), model=model,
+                        timeout=timeout, trace=trace, faults=faults)
+        engine.obs.metrics.set("workflow.attempt", attempt)
 
         # Contiguous rank ranges per task.
         ranges: dict[str, list[int]] = {}
         start = 0
-        for t in self._tasks:
+        for t in tasks:
             ranges[t.name] = list(range(start, start + t.nprocs))
             engine.obs.set_task(t.name, ranges[t.name])
             start += t.nprocs
 
         # One intercomm pair per link, shared objects across threads.
-        links: dict[str, dict[str, Intercomm]] = {t.name: {} for t in self._tasks}
+        links: dict[str, dict[str, Intercomm]] = {t.name: {} for t in tasks}
         for prod, cons in self._links:
+            if prod not in ranges or cons not in ranges:
+                continue
             p_view, c_view = Intercomm.create(
                 engine, ranges[prod], ranges[cons]
             )
@@ -146,7 +249,7 @@ class Workflow:
             links[cons][prod] = c_view
 
         task_of_rank: dict[int, Task] = {}
-        for t in self._tasks:
+        for t in tasks:
             for r in ranges[t.name]:
                 task_of_rank[r] = t
 
@@ -154,7 +257,7 @@ class Workflow:
 
         def main(world):
             me = task_of_rank[world.rank]
-            color = self._tasks.index(me)
+            color = tasks.index(me)
             local = world.split(color)
             if world.rank == ranges[me.name][0]:
                 contexts[me.name] = TaskContext(
@@ -171,7 +274,7 @@ class Workflow:
         res = engine.run(main)
         returns = {
             t.name: [res.returns[r] for r in ranges[t.name]]
-            for t in self._tasks
+            for t in tasks
         }
         return WorkflowResult(
             vtime=res.vtime,
@@ -180,4 +283,5 @@ class Workflow:
             bytes_sent=res.bytes_sent,
             trace=engine.sorted_trace() if trace else [],
             obs=engine.obs,
+            clocks=res.clocks,
         )

@@ -1,0 +1,133 @@
+"""Crash paths: a dead rank produces a typed error, never a hang.
+
+These tests aim a :class:`~repro.faults.CrashRule` into the middle of
+the index-serve-query protocol by *self-calibration*: a fault-free run
+is profiled first, the virtual-time midpoint of the interesting phase
+(``lowfive.serve`` on a producer, ``lowfive.query`` on a consumer) is
+read back from the span recorder, and a fresh run crashes the target
+rank exactly there. Every peer must then observe a clean
+:class:`~repro.simmpi.RankFailure` within the engine's real-time
+watchdog -- the suite itself is the no-hang proof.
+"""
+
+import numpy as np
+import pytest
+
+import repro.h5 as h5
+from repro.faults import CrashRule, FaultPlan
+from repro.h5.native import NativeVOL
+from repro.lowfive import DistMetadataVOL
+from repro.pfs import PFSStore
+from repro.simmpi import RankFailure
+from repro.synth import (
+    consumer_grid_selection,
+    grid_values,
+    producer_grid_selection,
+)
+from repro.workflow import Workflow
+
+GRID = (8, 6, 4)
+NPROD, NCONS = 2, 1  # world ranks: producers 0-1, consumer 2
+
+
+def run_pc(faults=None, timeout=10.0):
+    """Small producer/consumer exchange, optionally under a fault plan."""
+    def make_vol(ctx, role, peer):
+        def factory():
+            vol = DistMetadataVOL(comm=ctx.comm,
+                                  under=NativeVOL(PFSStore()))
+            vol.set_memory("out.h5")
+            if role == "producer":
+                vol.serve_on_close("out.h5", ctx.intercomm(peer))
+            else:
+                vol.set_consumer("out.h5", ctx.intercomm(peer))
+            return vol
+
+        return ctx.singleton("vol", factory)
+
+    def producer(ctx):
+        vol = make_vol(ctx, "producer", "consumer")
+        f = h5.File("out.h5", "w", comm=ctx.comm, vol=vol)
+        d = f.create_dataset("grid", shape=GRID, dtype=h5.UINT64)
+        sel = producer_grid_selection(GRID, ctx.rank, ctx.size)
+        d.write(grid_values(sel, GRID), file_select=sel)
+        f.close()
+        return "produced"
+
+    def consumer(ctx):
+        vol = make_vol(ctx, "consumer", "producer")
+        f = h5.File("out.h5", "r", comm=ctx.comm, vol=vol)
+        sel = consumer_grid_selection(GRID, ctx.rank, ctx.size)
+        gv = f["grid"].read(sel, reshape=False)
+        f.close()
+        return np.asarray(gv).tobytes()
+
+    wf = Workflow()
+    wf.add_task("producer", NPROD, producer)
+    wf.add_task("consumer", NCONS, consumer)
+    wf.add_link("producer", "consumer")
+    return wf.run(faults=faults, timeout=timeout)
+
+
+def phase_midpoint(obs, name, rank):
+    """Virtual-time midpoint of the first ``name`` span on ``rank``."""
+    spans = [s for s in obs.spans.spans(name=name) if s.rank == rank]
+    assert spans, f"no {name!r} span on rank {rank}"
+    s = spans[0]
+    assert s.t1 > s.t0, f"{name!r} span is empty"
+    return 0.5 * (s.t0 + s.t1)
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    """Fault-free run providing phase timings for crash aiming."""
+    return run_pc().obs
+
+
+def test_producer_crash_mid_serve_fails_typed(calibration):
+    # Kill producer rank 0 halfway through its serve phase: the blocked
+    # consumer must see the failure instead of waiting forever.
+    t = phase_midpoint(calibration, "lowfive.serve", rank=0)
+    plan = FaultPlan(0, crashes=[CrashRule(rank=0, at_vtime=t,
+                                           times=10)])
+    with pytest.raises(RankFailure) as exc_info:
+        run_pc(faults=plan)
+    assert exc_info.value.rank == 0
+    assert exc_info.value.vtime >= t
+    assert plan.injected_counts()["crash"] >= 1
+
+
+def test_consumer_crash_mid_query_fails_typed(calibration):
+    # Kill the consumer (world rank 2) inside its query phase: the
+    # producers' serve loops must terminate instead of waiting for a
+    # done message that will never come.
+    t = phase_midpoint(calibration, "lowfive.query", rank=NPROD)
+    plan = FaultPlan(0, crashes=[CrashRule(rank=NPROD, at_vtime=t,
+                                           times=10)])
+    with pytest.raises(RankFailure) as exc_info:
+        run_pc(faults=plan)
+    assert exc_info.value.rank == NPROD
+
+
+def test_crash_before_anything_kills_world_cleanly():
+    plan = FaultPlan(0, crashes=[CrashRule(rank=1, at_vtime=0.0,
+                                           times=10)])
+    with pytest.raises(RankFailure) as exc_info:
+        run_pc(faults=plan)
+    assert exc_info.value.rank == 1
+
+
+def test_crash_is_annotated_in_observability():
+    plan = FaultPlan(0, crashes=[CrashRule(rank=0, at_vtime=0.0,
+                                           times=10)])
+    wf = Workflow()
+
+    def body(ctx):
+        ctx.comm.compute(1.0)
+        return "done"
+
+    wf.add_task("t", 2, body)
+    with pytest.raises(RankFailure):
+        wf.run(faults=plan)
+    # The plan itself still carries the injection record.
+    assert plan.injected_counts()["crash"] == 1

@@ -1,0 +1,167 @@
+"""FaultPlan unit tests: PRF determinism, rule matching, bookkeeping."""
+
+import pytest
+
+from repro.faults import (
+    CrashRule,
+    FaultPlan,
+    MessageFaultRule,
+    OstSlowRule,
+    RpcFaultRule,
+)
+from repro.pfs import LustreModel
+
+
+def drain_decisions(plan, n=50, src=0, dst=1):
+    return [plan.message_decision(src, dst) for _ in range(n)]
+
+
+class TestPRF:
+    def test_same_seed_same_decisions(self):
+        rules = [MessageFaultRule(p_delay=0.4, max_delay=1e-3,
+                                  p_duplicate=0.3)]
+        a = drain_decisions(FaultPlan(42, messages=rules))
+        b = drain_decisions(FaultPlan(42, messages=rules))
+        assert a == b
+
+    def test_different_seed_different_decisions(self):
+        rules = [MessageFaultRule(p_delay=0.5, max_delay=1e-3)]
+        a = drain_decisions(FaultPlan(1, messages=rules))
+        b = drain_decisions(FaultPlan(2, messages=rules))
+        assert a != b
+
+    def test_draw_is_uniform_enough(self):
+        plan = FaultPlan(7)
+        draws = [plan._u("x", i) for i in range(2000)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert 0.4 < sum(draws) / len(draws) < 0.6
+
+    def test_links_are_independent_streams(self):
+        rules = [MessageFaultRule(p_delay=0.5, max_delay=1e-3)]
+        plan = FaultPlan(3, messages=rules)
+        a = drain_decisions(plan, src=0, dst=1)
+        plan2 = FaultPlan(3, messages=rules)
+        b = drain_decisions(plan2, src=2, dst=3)
+        assert a != b
+
+
+class TestMessageRules:
+    def test_no_rule_no_decision(self):
+        plan = FaultPlan(0)
+        assert plan.message_decision(0, 1) is None
+
+    def test_rule_filters_by_link(self):
+        rules = [MessageFaultRule(src=0, dst=1, wire_factor=3.0)]
+        plan = FaultPlan(0, messages=rules)
+        assert plan.message_decision(0, 1).wire_factor == 3.0
+        assert plan.message_decision(1, 0) is None
+        assert plan.message_decision(0, 2) is None
+
+    def test_first_matching_rule_wins(self):
+        rules = [
+            MessageFaultRule(src=0, wire_factor=2.0),
+            MessageFaultRule(wire_factor=5.0),
+        ]
+        plan = FaultPlan(0, messages=rules)
+        assert plan.message_decision(0, 1).wire_factor == 2.0
+        assert plan.message_decision(1, 0).wire_factor == 5.0
+
+    def test_pure_wire_factor_rule_always_decides(self):
+        plan = FaultPlan(0, messages=[MessageFaultRule(wire_factor=2.0)])
+        for _ in range(10):
+            d = plan.message_decision(0, 1)
+            assert d.wire_factor == 2.0
+            assert d.extra_delay == 0.0 and not d.duplicate
+
+    def test_injected_counts_accumulate(self):
+        rules = [MessageFaultRule(p_delay=1.0, max_delay=1e-3,
+                                  p_duplicate=1.0)]
+        plan = FaultPlan(0, messages=rules)
+        drain_decisions(plan, n=10)
+        counts = plan.injected_counts()
+        assert counts["msg_delay"] == 10
+        assert counts["msg_duplicate"] == 10
+
+
+class TestCrashRules:
+    def test_crash_vtime_and_consumption(self):
+        plan = FaultPlan(0, crashes=[CrashRule(rank=2, at_vtime=1.5)])
+        assert plan.crash_vtime(2) == 1.5
+        assert plan.crash_vtime(0) is None
+        plan.note_crash(2)
+        assert plan.crash_vtime(2) is None  # times=1 consumed
+        assert plan.injected_counts()["crash"] == 1
+
+    def test_times_bounds_occurrences(self):
+        plan = FaultPlan(0, crashes=[CrashRule(rank=0, at_vtime=0.1,
+                                               times=2)])
+        plan.note_crash(0)
+        assert plan.crash_vtime(0) == 0.1
+        plan.note_crash(0)
+        assert plan.crash_vtime(0) is None
+
+
+class TestOstRules:
+    def test_lustre_model_untouched_without_rules(self):
+        model = LustreModel()
+        assert FaultPlan(0).lustre_model(model) is model
+
+    def test_slow_ost_degrades_whole_stripe_set(self):
+        model = LustreModel(stripe_count=4)
+        plan = FaultPlan(0, osts=[OstSlowRule(ost=2, factor=0.25)])
+        slow = plan.lustre_model(model)
+        assert slow.ost_factors == (1.0, 1.0, 0.25, 1.0)
+        assert slow.slowest_ost_factor() == 0.25
+        assert slow.stripe_peak() == model.stripe_peak() * 0.25
+        assert slow.aggregate_bandwidth(8) < model.aggregate_bandwidth(8)
+        assert slow.read_time(2**20, 8) > model.read_time(2**20, 8)
+        assert slow.write_time(2**20, 8) > model.write_time(2**20, 8)
+        assert plan.injected_counts()["ost_slow"] == 1
+
+    def test_fast_ost_cannot_exceed_nominal(self):
+        model = LustreModel(stripe_count=2)
+        plan = FaultPlan(0, osts=[OstSlowRule(ost=0, factor=4.0)])
+        assert plan.lustre_model(model).slowest_ost_factor() == 1.0
+
+    def test_out_of_range_ost_ignored(self):
+        model = LustreModel(stripe_count=2)
+        plan = FaultPlan(0, osts=[OstSlowRule(ost=9, factor=0.1)])
+        assert plan.lustre_model(model).slowest_ost_factor() == 1.0
+
+
+class TestRpcRules:
+    def test_lose_first_is_deterministic(self):
+        plan = FaultPlan(0, rpcs=[RpcFaultRule(fn="read", lose_first=2)])
+        assert plan.rpc_lost(3, 0, "read", attempt=0)
+        assert plan.rpc_lost(3, 0, "read", attempt=1)
+        assert not plan.rpc_lost(3, 0, "read", attempt=2)
+        assert plan.injected_counts()["rpc_lost"] == 2
+
+    def test_rule_filters(self):
+        plan = FaultPlan(0, rpcs=[RpcFaultRule(fn="read", caller=3,
+                                               lose_first=1)])
+        assert plan.rpc_lost(3, 0, "read", 0)
+        assert not plan.rpc_lost(2, 0, "read", 0)
+        assert not plan.rpc_lost(3, 0, "metadata", 0)
+
+    def test_p_lost_is_seeded(self):
+        rule = RpcFaultRule(p_lost=0.5)
+        a = [FaultPlan(9, rpcs=[rule]).rpc_lost(0, 0, "f", 0)
+             for _ in range(1)]
+        plan1 = FaultPlan(9, rpcs=[rule])
+        plan2 = FaultPlan(9, rpcs=[rule])
+        seq1 = [plan1.rpc_lost(0, 0, "f", 0) for _ in range(40)]
+        seq2 = [plan2.rpc_lost(0, 0, "f", 0) for _ in range(40)]
+        assert seq1 == seq2
+        assert any(seq1) and not all(seq1)
+
+    def test_call_ordinal_advances_only_on_first_attempt(self):
+        # Retries of one call share the ordinal: a p_lost draw that lost
+        # attempt 0 of call k must not be re-drawn as a *different* call.
+        rule = RpcFaultRule(p_lost=0.5)
+        plan1 = FaultPlan(11, rpcs=[rule])
+        first = plan1.rpc_lost(0, 0, "f", attempt=0)
+        again = plan1.rpc_lost(0, 0, "f", attempt=0)  # next call
+        plan2 = FaultPlan(11, rpcs=[rule])
+        assert plan2.rpc_lost(0, 0, "f", attempt=0) == first
+        assert plan2.rpc_lost(0, 0, "f", attempt=0) == again

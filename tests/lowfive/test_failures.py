@@ -5,16 +5,18 @@ import numpy as np
 import pytest
 
 import repro.h5 as h5
+from repro.faults import FaultPlan, RpcFaultRule
 from repro.h5.errors import NotFoundError, SelectionError
 from repro.h5.native import NativeVOL
 from repro.lowfive import DistMetadataVOL
-from repro.lowfive.rpc import RPCError
+from repro.lowfive.rpc import RetriesExhausted, RPCError, RPCTimeout
 from repro.pfs import PFSStore
 from repro.simmpi import DeadlockError
 from repro.workflow import Workflow
 
 
-def make_pair(producer_body, consumer_body, nprod=2, ncons=1, timeout=60.0):
+def make_pair(producer_body, consumer_body, nprod=2, ncons=1,
+              timeout=60.0, faults=None):
     def make_vol(ctx, role, peer):
         def factory():
             vol = DistMetadataVOL(comm=ctx.comm, under=NativeVOL(PFSStore()))
@@ -39,7 +41,7 @@ def make_pair(producer_body, consumer_body, nprod=2, ncons=1, timeout=60.0):
     wf.add_task("producer", nprod, producer)
     wf.add_task("consumer", ncons, consumer)
     wf.add_link("producer", "consumer")
-    return wf.run(timeout=timeout)
+    return wf.run(timeout=timeout, faults=faults)
 
 
 def normal_producer(ctx, vol):
@@ -125,6 +127,74 @@ def test_rpc_error_reply_does_not_kill_server():
 
     res = make_pair(normal_producer, consumer)
     assert res.returns["consumer"] == [True]
+
+
+def test_rpc_error_hierarchy_is_layered():
+    # Code that only knows RPCError keeps working when the fault layer
+    # raises the more precise types.
+    assert issubclass(RPCTimeout, RPCError)
+    assert issubclass(RetriesExhausted, RPCTimeout)
+    assert issubclass(RetriesExhausted, RPCError)
+
+
+def test_retries_exhausted_degrades_gracefully():
+    """One consumer's read RPC is persistently lost: that consumer gets
+    a typed RetriesExhausted, the *other* consumer reads fine, and the
+    producer's serve loop terminates normally."""
+    # World ranks: producers 0-1, consumers 2-3; rank 3 is the victim.
+    plan = FaultPlan(0, rpcs=[RpcFaultRule(fn="read", caller=3,
+                                           lose_first=10)])
+
+    def consumer(ctx, vol):
+        f = h5.File("f.h5", "r", comm=ctx.comm, vol=vol)
+        d = f["d"]
+        if ctx.world.rank == 3:
+            with pytest.raises(RetriesExhausted):
+                d.read()
+            ok = "degraded"
+        else:
+            ok = "read" if d.read().shape == (4, 4) else "corrupt"
+        f.close()  # still signals done; the producer is released
+        return ok
+
+    res = make_pair(normal_producer, consumer, ncons=2, faults=plan)
+    assert sorted(res.returns["consumer"]) == ["degraded", "read"]
+    assert res.returns["producer"] == [True, True]
+    assert plan.injected_counts()["rpc_lost"] >= 4  # 1 try + 3 retries
+
+
+def test_transient_rpc_loss_is_retried_transparently():
+    """Losing fewer attempts than the retry budget is invisible."""
+    plan = FaultPlan(0, rpcs=[RpcFaultRule(fn="read", lose_first=2)])
+
+    def consumer(ctx, vol):
+        f = h5.File("f.h5", "r", comm=ctx.comm, vol=vol)
+        vals = f["d"].read()
+        f.close()
+        return vals.shape == (4, 4)
+
+    res = make_pair(normal_producer, consumer, faults=plan)
+    assert res.returns["consumer"] == [True]
+    assert plan.injected_counts()["rpc_lost"] >= 2
+    retries = sum(
+        v.total for (kind, key), v
+        in res.obs.metrics.snapshot().data.items()
+        if kind == "counter" and key[0] == "rpc.retry.count"
+    )
+    assert retries >= 2
+
+
+def test_consumer_stalling_in_virtual_time_trips_serve_timeout():
+    """The serve timeout is virtual: a consumer that burns simulated
+    time without ever closing trips RPCTimeout on the producer."""
+    def consumer(ctx, vol):
+        f = h5.File("f.h5", "r", comm=ctx.comm, vol=vol)
+        f["d"].read()
+        ctx.comm.compute(100.0)  # >> the serve loop's 60 virtual s
+        return "wandered off"    # never closed -> no done signal
+
+    with pytest.raises(RPCTimeout, match="starved"):
+        make_pair(normal_producer, consumer, timeout=30.0)
 
 
 def test_clocks_nonnegative_and_final_time_positive():

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.lowfive.rpc import Defer, RPCClient, RPCError, RPCServer
+from repro.lowfive.rpc import (
+    Defer,
+    RPCClient,
+    RPCError,
+    RPCServer,
+    RPCTimeout,
+)
 from repro.simmpi import Engine, Intercomm
 
 
@@ -154,6 +160,9 @@ def test_server_multiplexes_two_intercomms():
 
 
 def test_serve_timeout_raises():
+    # The serve timeout is measured on the virtual clock: the client
+    # keeps computing (virtual progress) but never sends done, so the
+    # server starves out after 0.3 *simulated* seconds.
     eng = Engine(2)
     c_view, s_view = Intercomm.create(eng, [0], [1])
 
@@ -161,12 +170,16 @@ def test_serve_timeout_raises():
         if world.rank == 1:
             server = RPCServer()
             server.attach(s_view)
-            with pytest.raises(RPCError, match="idle"):
+            with pytest.raises(RPCTimeout, match="starved"):
                 server.serve(timeout=0.3)  # client never sends done
             return "timed-out"
         import time
 
-        time.sleep(0.6)
+        # Advance virtual time gradually over real time so the serve
+        # loop observes progress regardless of startup interleaving.
+        for _ in range(20):
+            world.compute(0.05)
+            time.sleep(0.02)
         return "silent"
 
     res = eng.run(main)

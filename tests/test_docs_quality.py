@@ -14,6 +14,7 @@ import repro
 
 PACKAGES = [
     "repro",
+    "repro.faults",
     "repro.simmpi",
     "repro.h5",
     "repro.pfs",
