@@ -6,7 +6,12 @@ in the paper), plus executed validation points with a reduced workload.
 
 import pytest
 
-from conftest import EXECUTED_SCALES, PAPER_SCALES, executed_workload
+from conftest import (
+    EXECUTED_SCALES,
+    PAPER_SCALES,
+    attribution_line,
+    executed_workload,
+)
 from repro.bench import (
     ascii_loglog,
     format_series_table,
@@ -70,6 +75,25 @@ def test_fig5_regenerate(benchmark, exec_wl):
             f"  P={P:3d}: executed memory {mem.vtime:8.3f}s "
             f"(model {model_mem:8.3f}s), executed file {fil.vtime:8.3f}s"
         )
+        for label, r in (("memory", mem), ("file", fil)):
+            a = r.attribution
+            # Per-rank time conservation and exact path telescoping
+            # must hold on every executed point.
+            assert a is not None and a["conservation_ok"]
+            assert abs(a["critpath_residual"]) <= 1e-9
+            lines.append(f"         {label:6s} {attribution_line(r)}")
+        # The figure's causal story: file mode's critical path lives on
+        # the PFS (and consumers block on PFS contention), memory
+        # mode's transport never touches it -- its path is the LowFive
+        # index/serve machinery plus MPI transfer.
+        assert fil.attribution["critpath"]["pfs"] > 0.5
+        assert fil.attribution["wait_by_category"].get(
+            "pfs-contention", 0.0) > 0.0
+        assert mem.attribution["critpath"]["pfs"] < 0.05
+        assert mem.attribution["wait_by_category"].get(
+            "pfs-contention", 0.0) < 1e-9
+        mcp = mem.attribution["critpath"]
+        assert mcp["lowfive"] + mcp["simmpi"] > 0.5
     write_result("fig5_file_vs_memory.txt", "\n".join(lines) + "\n")
 
     # Benchmark target: one executed memory-mode point.

@@ -7,7 +7,7 @@ point) and ~6% slower at 16K (synchronization overheads).
 
 import pytest
 
-from conftest import PAPER_SCALES, executed_workload
+from conftest import PAPER_SCALES, attribution_line, executed_workload
 from repro.bench import (
     ascii_loglog,
     format_series_table,
@@ -66,6 +66,13 @@ def test_fig7_regenerate(benchmark, exec_wl):
             f"pure MPI {ex_mpi.vtime:8.3f}s "
             f"(LowFive {ex_mpi.vtime / ex_lf.vtime:4.2f}x faster)"
         )
+        for label, r in (("lowfive", ex_lf), ("mpi", ex_mpi)):
+            a = r.attribution
+            assert a is not None and a["conservation_ok"]
+            assert abs(a["critpath_residual"]) <= 1e-9
+            lines.append(f"         {label:7s} {attribution_line(r)}")
+        # Pure MPI never enters the LowFive/RPC layer.
+        assert ex_mpi.attribution["critpath"]["lowfive"] < 0.01
     write_result("fig7_memory_vs_mpi.txt", "\n".join(lines) + "\n")
 
     nprod, ncons = exec_wl.split_procs(8)

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Write a schema-versioned machine-readable benchmark snapshot.
+
+``python benchmarks/bench_snapshot.py --output BENCH_snapshot.json``
+executes the fig5 workloads (LowFive memory and file mode) and the
+fig7 pure-MPI baseline at a reduced scale and records, per run, the
+virtual makespan plus the causal attribution: critical-path category
+shares, aggregate compute/transfer/wait split, wait-state totals and
+the conservation check. CI uploads the file as an artifact so runs can
+be diffed across commits; the output is deterministic (no timestamps,
+virtual clocks only).
+
+Exits nonzero when any run fails validation or violates the per-rank
+time conservation invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Bump when the snapshot layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: (figure, transport) -> driver name in repro.bench.
+RUNS = (
+    ("fig5", "lowfive_memory", "run_lowfive_memory"),
+    ("fig5", "lowfive_file", "run_lowfive_file"),
+    ("fig7", "pure_mpi", "run_pure_mpi"),
+)
+
+
+def snapshot(elems: int, scales) -> dict:
+    """Execute every configured run; returns the snapshot document."""
+    import repro.bench as bench
+    from repro.synth import SyntheticWorkload
+
+    wl = SyntheticWorkload(grid_points_per_proc=elems,
+                           particles_per_proc=elems)
+    runs = []
+    for P in scales:
+        nprod, ncons = wl.split_procs(P)
+        for figure, transport, fn in RUNS:
+            res = getattr(bench, fn)(nprod, ncons, wl)
+            runs.append({
+                "figure": figure,
+                "transport": transport,
+                "nprocs": P,
+                "nprod": res.nprod,
+                "ncons": res.ncons,
+                "vtime": res.vtime,
+                "validated": res.validated,
+                "messages": res.messages,
+                "bytes_sent": res.bytes_sent,
+                "attribution": res.attribution,
+            })
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "params": {
+            "elems_per_proc": elems,
+            "scales": list(scales),
+            "machine": "THETA_KNL",
+        },
+        "runs": runs,
+    }
+
+
+def check(doc: dict) -> list:
+    """Violations (empty = snapshot is healthy)."""
+    problems = []
+    for run in doc["runs"]:
+        who = f"{run['figure']}/{run['transport']} P={run['nprocs']}"
+        if not run["validated"]:
+            problems.append(f"{who}: consumer validation failed")
+        a = run["attribution"]
+        if a is None:
+            problems.append(f"{who}: no attribution recorded")
+            continue
+        if not a["conservation_ok"]:
+            problems.append(
+                f"{who}: conservation violated "
+                f"(max residual {a['max_residual']:.3e} s)"
+            )
+        if abs(a["critpath_residual"]) > 1e-9:
+            problems.append(
+                f"{who}: critical-path residual "
+                f"{a['critpath_residual']:.3e} s exceeds 1e-9"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--output", default="BENCH_snapshot.json",
+                    help="output path (default BENCH_snapshot.json)")
+    ap.add_argument("--elems", type=int,
+                    default=int(os.environ.get("REPRO_BENCH_ELEMS",
+                                               "60000")),
+                    help="elements per producer rank (default 60000, "
+                         "or REPRO_BENCH_ELEMS)")
+    ap.add_argument("--scales", type=int, nargs="+", default=[4, 8],
+                    help="total process counts to execute (default 4 8)")
+    args = ap.parse_args(argv)
+
+    doc = snapshot(args.elems, args.scales)
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    problems = check(doc)
+    print(f"wrote {args.output}: {len(doc['runs'])} runs, "
+          f"schema v{doc['schema_version']}")
+    for p in problems:
+        print(f"ERROR: {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

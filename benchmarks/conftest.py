@@ -33,6 +33,27 @@ def executed_workload() -> SyntheticWorkload:
     return SyntheticWorkload(grid_points_per_proc=n, particles_per_proc=n)
 
 
+def attribution_line(res) -> str:
+    """One-line causal attribution of an ExecutedResult.
+
+    Shows the critical-path category shares, the aggregate
+    compute/transfer/wait split, and the dominant wait-state cause.
+    """
+    a = res.attribution
+    if not a:
+        return "attribution: n/a"
+    cp = " ".join(f"{c}={s * 100:.1f}%"
+                  for c, s in sorted(a["critpath"].items(),
+                                     key=lambda kv: -kv[1])
+                  if s > 0.005)
+    sh = "/".join(f"{k} {v * 100:.1f}%" for k, v in a["shares"].items())
+    waits = a["wait_by_category"]
+    wtop = max(waits, key=waits.get) if waits else "none"
+    ok = "ok" if a["conservation_ok"] else "VIOLATED"
+    return (f"critpath[{cp}] shares[{sh}] wait-dominant={wtop} "
+            f"conservation={ok}")
+
+
 @pytest.fixture
 def exec_wl():
     return executed_workload()

@@ -68,12 +68,18 @@ def analysis(ctx):
     return mean
 
 
-def main():
+def build_workflow():
+    """The quickstart workflow graph (used by ``main`` and by
+    ``python -m repro.tools critpath --example examples/quickstart.py``)."""
     wf = Workflow()
     wf.add_task("simulation", nprocs=4, main=producer)
     wf.add_task("analysis", nprocs=2, main=analysis)
     wf.add_link("simulation", "analysis")
-    result = wf.run()
+    return wf
+
+
+def main():
+    result = build_workflow().run()
 
     means = result.returns["analysis"]
     print(f"\ncompleted in {result.vtime * 1e3:.2f} simulated ms, "

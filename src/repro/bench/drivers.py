@@ -51,7 +51,9 @@ class ExecutedResult:
 
     ``metrics`` is the run's plain-dict obs metrics dump (counters,
     gauges, histograms from every instrumented layer); ``None`` only
-    for hand-built results.
+    for hand-built results. ``attribution`` is the causal summary
+    (:meth:`repro.obs.critpath.CausalReport.summary`): critical-path
+    category/phase shares, wait-state totals, conservation status.
     """
 
     nprod: int
@@ -61,6 +63,7 @@ class ExecutedResult:
     messages: int
     bytes_sent: int
     metrics: dict | None = None
+    attribution: dict | None = None
 
 
 def _check(returns) -> bool:
@@ -77,8 +80,12 @@ def _finish(nprod, ncons, res, ok) -> ExecutedResult:
     if not ok:
         raise AssertionError("consumer-side validation failed")
     metrics = metrics_dump(res.obs.metrics) if res.obs is not None else None
+    attribution = None
+    if res.obs is not None and res.clocks:
+        attribution = res.causal_report().summary()
     return ExecutedResult(nprod, ncons, res.vtime, ok,
-                          res.messages, res.bytes_sent, metrics)
+                          res.messages, res.bytes_sent, metrics,
+                          attribution)
 
 
 # -- LowFive ----------------------------------------------------------------

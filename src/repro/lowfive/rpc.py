@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import span as obs_span
 from repro.simmpi import ANY_SOURCE, Intercomm
 
 #: Tag used for RPC requests (client -> server).
@@ -108,6 +109,10 @@ class RPCClient:
         would have waited) and is retried up to ``retry.max_retries``
         times before :class:`RetriesExhausted` is raised.
         """
+        with obs_span(self.inter, "rpc.call", cat="rpc", fn=fn, dest=dest):
+            return self._call_impl(dest, fn, args, nbytes)
+
+    def _call_impl(self, dest: int, fn: str, args, nbytes):
         policy = self.retry
         plan = getattr(self.inter.engine, "faults", None)
         attempts = policy.max_retries + 1
@@ -183,16 +188,20 @@ class RPCServer:
         if handler is None:
             inter.send((False, f"unknown function {fn!r}"), source, TAG_REPLY)
             return
-        try:
-            result = handler(source, *args)
-        except Defer:
-            self._pending.append((inter, payload, source))
-            return
-        except Exception as exc:  # noqa: BLE001 - forwarded to caller
-            inter.send((False, f"{type(exc).__name__}: {exc}"), source,
-                       TAG_REPLY)
-            return
-        inter.send((True, result), source, TAG_REPLY)
+        # The span marks this rank as *serving* (wait-state analysis
+        # attributes reply waits on it to rpc-server-busy).
+        with obs_span(inter, "rpc.handle", cat="rpc", fn=fn,
+                      source=source, phase="serve"):
+            try:
+                result = handler(source, *args)
+            except Defer:
+                self._pending.append((inter, payload, source))
+                return
+            except Exception as exc:  # noqa: BLE001 - forwarded to caller
+                inter.send((False, f"{type(exc).__name__}: {exc}"), source,
+                           TAG_REPLY)
+                return
+            inter.send((True, result), source, TAG_REPLY)
 
     def _handle_ctrl(self, inter: Intercomm, payload, source: int) -> None:
         fn, args = payload

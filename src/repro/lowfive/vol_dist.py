@@ -32,6 +32,7 @@ from repro.h5 import format as h5format
 from repro.h5.errors import NotFoundError
 from repro.h5.objects import DatasetNode, FileNode, GroupNode
 from repro.lowfive.profile import PhaseStats, Profiler
+from repro.obs import span as obs_span
 from repro.lowfive.rpc import Defer, RetryPolicy, RPCClient, RPCServer
 from repro.lowfive.vol_metadata import LFFile, LFToken, MetadataVOL
 
@@ -470,13 +471,18 @@ class DistMetadataVOL(MetadataVOL):
             # of coordinating with the consumers.
             lustre = getattr(self.under, "lustre", None)
             if comm is not None:
-                if lustre is not None:
-                    comm.compute(lustre.open_time(comm.size)
-                                 + lustre.close_time(comm.size))
-                comm.compute(
-                    self.costs.sync_factor
-                    * comm.model.epoch_jitter(comm.engine.nprocs)
-                )
+                # A pfs-category span: consumers blocked on the
+                # __file_ready__ handshake get their wait attributed
+                # to PFS contention, not a generic late sender.
+                with obs_span(comm, "pfs.close_epoch", cat="pfs",
+                              file=fname, phase="close_epoch"):
+                    if lustre is not None:
+                        comm.compute(lustre.open_time(comm.size)
+                                     + lustre.close_time(comm.size))
+                    comm.compute(
+                        self.costs.sync_factor
+                        * comm.model.epoch_jitter(comm.engine.nprocs)
+                    )
             self._announce_file_ready(fname, prod_inters, comm)
         if self.config.file_intercepted(fname):
             self._serve_file(fname, prod_inters)

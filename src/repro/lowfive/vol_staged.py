@@ -333,32 +333,38 @@ def staging_main(inters, costs=None, timeout: float = 60.0) -> dict:
         # notifications, or staged bundles); must hold ``proc.lock``.
         return any(proc.mailbox.get(i.comm_id) for i in inters)
 
-    last_progress = server._global_vtime()
-    while not server._all_done():
-        engine.check_failed()
-        engine.maybe_crash()
-        progressed = drain_stage()
-        if server.poll_once():
-            progressed = True
-            if server._pending:
-                replay, server._pending = server._pending, []
-                for inter, payload, source in replay:
-                    server._handle_request(inter, payload, source)
-        if progressed:
-            last_progress = server._global_vtime()
-            continue
-        if server._global_vtime() - last_progress >= timeout:
-            raise RPCTimeout(
-                f"staging rank starved for {timeout:.0f}s virtual time"
-            )
-        with proc.cond:
-            engine.wait_on(
-                proc.cond,
-                lambda: (_inbound()
-                         or server._global_vtime() - last_progress
-                         >= timeout),
-                "staged traffic",
-            )
+    from repro.obs import span as obs_span
+
+    # The span marks this rank as a server for the whole staging
+    # lifetime: client waits on it classify as rpc-server-busy.
+    with obs_span(inters[0], "lowfive.staging", cat="lowfive",
+                  phase="staging"):
+        last_progress = server._global_vtime()
+        while not server._all_done():
+            engine.check_failed()
+            engine.maybe_crash()
+            progressed = drain_stage()
+            if server.poll_once():
+                progressed = True
+                if server._pending:
+                    replay, server._pending = server._pending, []
+                    for inter, payload, source in replay:
+                        server._handle_request(inter, payload, source)
+            if progressed:
+                last_progress = server._global_vtime()
+                continue
+            if server._global_vtime() - last_progress >= timeout:
+                raise RPCTimeout(
+                    f"staging rank starved for {timeout:.0f}s virtual time"
+                )
+            with proc.cond:
+                engine.wait_on(
+                    proc.cond,
+                    lambda: (_inbound()
+                             or server._global_vtime() - last_progress
+                             >= timeout),
+                    "staged traffic",
+                )
     return {fname: sum(len(n.pieces) for n in _tree(fname).walk()
                        if isinstance(n, DatasetNode))
             for fname in skeletons}

@@ -11,8 +11,14 @@ phases, PFS I/O, workflow tasks -- behind a single API:
   parent/child links;
 - :mod:`repro.obs.recorder` -- a bounded per-rank flight recorder for
   post-mortems without full-trace overhead;
-- :mod:`repro.obs.export` -- Chrome/Perfetto ``trace_event`` JSON and
-  plain-dict metrics dumps.
+- :mod:`repro.obs.causal` -- message flow edges, collective straggler
+  records, per-rank compute/transfer/wait ledgers and the wait-state
+  classifier with its conservation check;
+- :mod:`repro.obs.critpath` -- exact critical-path extraction through
+  the virtual timeline with per-category/per-phase breakdowns;
+- :mod:`repro.obs.export` -- Chrome/Perfetto ``trace_event`` JSON
+  (including ``s``/``f`` flow arrows for message edges) and plain-dict
+  metrics dumps.
 
 Instrumentation points reach the context through their communicator::
 
@@ -26,6 +32,23 @@ from __future__ import annotations
 
 from contextlib import contextmanager, nullcontext
 
+from repro.obs.causal import (
+    CausalRecorder,
+    CollectiveRecord,
+    ConservationReport,
+    FlowEdge,
+    RankAccount,
+    WaitState,
+    classify_waits,
+    conservation,
+)
+from repro.obs.critpath import (
+    CausalReport,
+    CriticalPath,
+    Segment,
+    analyze,
+    critical_path,
+)
 from repro.obs.export import (
     chrome_trace,
     metrics_dump,
@@ -52,6 +75,19 @@ __all__ = [
     "InstantEvent",
     "FlightRecorder",
     "FlightEvent",
+    "CausalRecorder",
+    "FlowEdge",
+    "CollectiveRecord",
+    "RankAccount",
+    "WaitState",
+    "classify_waits",
+    "conservation",
+    "ConservationReport",
+    "CausalReport",
+    "CriticalPath",
+    "Segment",
+    "analyze",
+    "critical_path",
     "chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
@@ -72,6 +108,8 @@ class ObsContext:
         self.metrics = MetricsRegistry()
         self.spans = SpanRecorder()
         self.flight = FlightRecorder(flight_capacity)
+        #: Flow edges, collective records and per-rank time ledgers.
+        self.causal = CausalRecorder()
         self._rank_tasks: dict[int, str] = {}
 
     # -- task topology (pid/tid mapping for export) ------------------------

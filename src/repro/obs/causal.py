@@ -1,0 +1,462 @@
+"""Causal layer: message flow edges, stragglers, wait-state analysis.
+
+Every point-to-point receive records a :class:`FlowEdge` -- who sent,
+when the message was posted, when it arrived, and how long the receiver
+was blocked -- and every collective records a :class:`CollectiveRecord`
+with the per-rank entry clocks and the straggler whose arrival released
+everyone. Alongside them, :class:`RankAccount` ledgers are charged at
+every virtual-clock mutation in :mod:`repro.simmpi.comm`, partitioning
+each rank's timeline into *compute*, *transfer* and *wait* seconds.
+
+On top of that raw record this module provides Scalasca-style
+wait-state classification (:func:`classify_waits`) attributing each
+blocked interval to its causing rank and span, and the conservation
+check (:func:`conservation`) that per-rank
+``compute + transfer + wait`` sums exactly to the rank's final clock --
+the invariant every analysis in :mod:`repro.obs.critpath` relies on.
+
+A receive that blocks splits its blocked interval with the sender's
+post time ``t_post``::
+
+    blocked   = max(0, t_arrival - t_recv_start)
+    wait      = min(blocked, max(0, t_post - t_recv_start))
+    in_flight = blocked - wait
+
+``wait`` is the portion spent idle before the sender even posted (a
+*late sender*); ``in_flight`` is wire time and counts as transfer.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+#: Receiver idled because the sender had not posted yet.
+LATE_SENDER = "late-sender"
+#: Sender posted early; the message sat buffered at the receiver.
+EARLY_SENDER = "early-sender"
+#: Receiver idled inside a collective until the last rank arrived.
+COLLECTIVE_STRAGGLER = "collective-straggler"
+#: Receiver idled for an RPC reply while the server handled traffic.
+RPC_SERVER_BUSY = "rpc-server-busy"
+#: Receiver idled behind a peer doing parallel-file-system I/O.
+PFS_CONTENTION = "pfs-contention"
+
+#: Every category :func:`classify_waits` can emit.
+WAIT_CATEGORIES = (LATE_SENDER, EARLY_SENDER, COLLECTIVE_STRAGGLER,
+                   RPC_SERVER_BUSY, PFS_CONTENTION)
+
+#: RPC reply tag (mirrors :data:`repro.lowfive.rpc.TAG_REPLY`; obs must
+#: not import lowfive).
+_TAG_REPLY = 702
+#: Span names that mean "this rank is acting as an RPC server".
+_SERVER_SPANS = ("rpc.handle", "lowfive.serve", "lowfive.staging")
+
+
+@dataclass(frozen=True)
+class FlowEdge:
+    """One matched send -> recv pair (a causal edge between ranks).
+
+    Times are virtual seconds on the shared simulated timeline:
+    ``t_post`` (sender's clock when the message entered the network),
+    ``t_arrival`` (modeled delivery time at the receiver),
+    ``t_recv_start`` (receiver's clock when it started matching) and
+    ``t_recv`` (receiver's clock after the completed receive).
+    """
+
+    msg_id: int
+    src: int  # sender world rank
+    dst: int  # receiver world rank
+    tag: int
+    comm_id: int
+    nbytes: int
+    t_post: float
+    t_arrival: float
+    t_recv_start: float
+    t_recv: float
+
+    @property
+    def wire(self) -> float:
+        """Modeled network time of this message."""
+        return self.t_arrival - self.t_post
+
+    @property
+    def blocked(self) -> float:
+        """Seconds the receiver was blocked before delivery."""
+        return max(0.0, self.t_arrival - self.t_recv_start)
+
+    @property
+    def wait(self) -> float:
+        """Blocked seconds attributable to the sender being late."""
+        return min(self.blocked, max(0.0, self.t_post - self.t_recv_start))
+
+    @property
+    def in_flight(self) -> float:
+        """Blocked seconds spent on the wire (counted as transfer)."""
+        return self.blocked - self.wait
+
+    @property
+    def buffered(self) -> float:
+        """Seconds the message sat buffered before the receiver asked."""
+        return max(0.0, self.t_recv_start - self.t_arrival)
+
+
+@dataclass(frozen=True)
+class CollectiveRecord:
+    """One completed collective: entry clocks and the straggler.
+
+    ``enter_clocks`` maps world rank -> virtual clock at entry;
+    ``t_ready`` is the last entry (when the collective could start) and
+    ``t_end`` the common exit clock, so ``t_end - t_ready`` is the
+    modeled collective transfer time.
+    """
+
+    coll_id: int
+    kind: str
+    comm_id: int
+    nbytes: int
+    enter_clocks: dict
+    t_ready: float
+    t_end: float
+    straggler: int
+
+    @property
+    def transfer(self) -> float:
+        """Modeled network time of the collective itself."""
+        return self.t_end - self.t_ready
+
+    def wait_of(self, rank: int) -> float:
+        """Seconds ``rank`` idled waiting for the straggler."""
+        return max(0.0, self.t_ready - self.enter_clocks[rank])
+
+
+class RankAccount:
+    """Running compute/transfer/wait ledger of one rank.
+
+    Written only by the owning rank's thread (single-writer); read
+    after the run. The conservation invariant is
+    ``compute + transfer + wait == final clock``.
+    """
+
+    __slots__ = ("rank", "compute", "transfer", "wait")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.compute = 0.0
+        self.transfer = 0.0
+        self.wait = 0.0
+
+    @property
+    def total(self) -> float:
+        """Accounted seconds (should equal the rank's final clock)."""
+        return self.compute + self.transfer + self.wait
+
+    def to_dict(self) -> dict:
+        return {"rank": self.rank, "compute": self.compute,
+                "transfer": self.transfer, "wait": self.wait}
+
+
+class CausalRecorder:
+    """Collects flow edges, collective records and rank ledgers.
+
+    One per :class:`~repro.obs.ObsContext`; always on. Appends come
+    from the simmpi layer (one per receive / collective completion), so
+    volume tracks message count, not payload size.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._edges: list[FlowEdge] = []
+        self._colls: list[CollectiveRecord] = []
+        self._accounts: dict[int, RankAccount] = {}
+        self._next_coll = 1
+
+    # -- producing ---------------------------------------------------------
+
+    def account(self, rank: int) -> RankAccount:
+        """The (lazily created) ledger of ``rank``."""
+        acct = self._accounts.get(rank)
+        if acct is None:
+            with self._lock:
+                acct = self._accounts.setdefault(rank, RankAccount(rank))
+        return acct
+
+    def edge(self, **kw) -> FlowEdge:
+        """Record one matched receive (fields of :class:`FlowEdge`)."""
+        e = FlowEdge(**kw)
+        with self._lock:
+            self._edges.append(e)
+        return e
+
+    def collective(self, kind: str, comm_id: int, nbytes: int,
+                   enter_clocks: dict, t_ready: float,
+                   t_end: float) -> CollectiveRecord:
+        """Record one completed collective; derives the straggler."""
+        straggler = max(enter_clocks,
+                        key=lambda r: (enter_clocks[r], r))
+        with self._lock:
+            cid = self._next_coll
+            self._next_coll += 1
+            rec = CollectiveRecord(cid, kind, comm_id, nbytes,
+                                   dict(enter_clocks), t_ready, t_end,
+                                   straggler)
+            self._colls.append(rec)
+        return rec
+
+    # -- querying ----------------------------------------------------------
+
+    def edges(self, src: int | None = None, dst: int | None = None,
+              tag: int | None = None) -> list[FlowEdge]:
+        """Recorded flow edges, optionally filtered."""
+        with self._lock:
+            out = list(self._edges)
+        if src is not None:
+            out = [e for e in out if e.src == src]
+        if dst is not None:
+            out = [e for e in out if e.dst == dst]
+        if tag is not None:
+            out = [e for e in out if e.tag == tag]
+        return out
+
+    def collectives(self) -> list[CollectiveRecord]:
+        """Recorded collective completions, in completion order."""
+        with self._lock:
+            return list(self._colls)
+
+    def accounts(self) -> dict:
+        """Copy of the rank -> :class:`RankAccount` map."""
+        with self._lock:
+            return dict(self._accounts)
+
+
+# -- cause attribution -------------------------------------------------------
+
+
+def dominant_span(spans, a: float, b: float):
+    """The innermost span covering most of ``[a, b]`` (or ``None``).
+
+    ``spans`` are one rank's :class:`~repro.obs.spans.SpanEvent` list.
+    The interval is swept over span boundaries; each slice is charged
+    to its innermost (shortest) containing span, and the span with the
+    largest covered total wins. This picks ``pfs.write`` over the
+    enclosing ``task.producer`` when both cover a wait.
+    """
+    if b <= a:
+        return None
+    overl = [s for s in spans if s.t0 < b and s.t1 > a]
+    if not overl:
+        return None
+    cuts = sorted({a, b}
+                  | {max(a, s.t0) for s in overl}
+                  | {min(b, s.t1) for s in overl})
+    totals: dict[int, float] = {}
+    by_id = {}
+    for p0, p1 in zip(cuts, cuts[1:]):
+        if p1 <= p0:
+            continue
+        mid = 0.5 * (p0 + p1)
+        containing = [s for s in overl if s.t0 <= mid <= s.t1]
+        if not containing:
+            continue
+        deepest = min(containing, key=lambda s: (s.t1 - s.t0, -s.t0))
+        totals[deepest.span_id] = totals.get(deepest.span_id, 0.0) + (p1 - p0)
+        by_id[deepest.span_id] = deepest
+    if not totals:
+        return None
+    best = max(totals, key=lambda sid: (totals[sid], -sid))
+    return by_id[best]
+
+
+@dataclass(frozen=True)
+class WaitState:
+    """One classified blocked interval.
+
+    ``rank`` idled over ``[t0, t1]`` because of ``cause_rank``;
+    ``cause_span`` names what the causing rank was doing (the dominant
+    innermost span over the interval, ``""`` when uninstrumented).
+    :data:`EARLY_SENDER` entries are informational (the *message*
+    buffered, the rank did not idle) and are excluded from the
+    wait-conservation cross-check.
+    """
+
+    rank: int
+    t0: float
+    t1: float
+    category: str
+    cause_rank: int
+    cause_span: str = ""
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.t1 - self.t0
+
+    def to_dict(self) -> dict:
+        return {"rank": self.rank, "t0": self.t0, "t1": self.t1,
+                "seconds": self.seconds, "category": self.category,
+                "cause_rank": self.cause_rank,
+                "cause_span": self.cause_span, **self.detail}
+
+
+def _classify_edge(edge: FlowEdge, cause_span) -> str:
+    """Wait category of a late receive, from the sender's activity."""
+    if cause_span is not None:
+        if cause_span.cat == "pfs" or cause_span.name.startswith("pfs."):
+            return PFS_CONTENTION
+        if cause_span.name in _SERVER_SPANS:
+            return RPC_SERVER_BUSY
+    if edge.tag == _TAG_REPLY:
+        return RPC_SERVER_BUSY
+    return LATE_SENDER
+
+
+def classify_waits(obs, tol: float = 1e-12) -> list[WaitState]:
+    """Classify every blocked interval recorded by ``obs.causal``.
+
+    Returns :class:`WaitState` entries sorted by start time. Excluding
+    :data:`EARLY_SENDER` (buffered-message) entries, the per-rank sum
+    of ``seconds`` equals the rank's accounted ``wait`` ledger -- the
+    cross-check :func:`conservation` enforces.
+    """
+    causal = obs.causal
+    spans_by_rank: dict[int, list] = {}
+    for s in obs.spans.spans():
+        spans_by_rank.setdefault(s.rank, []).append(s)
+    out: list[WaitState] = []
+    for e in causal.edges():
+        w = e.wait
+        if w > tol:
+            cause = dominant_span(spans_by_rank.get(e.src, ()),
+                                  e.t_recv_start, e.t_recv_start + w)
+            out.append(WaitState(
+                e.dst, e.t_recv_start, e.t_recv_start + w,
+                _classify_edge(e, cause), e.src,
+                cause.name if cause is not None else "",
+                {"tag": e.tag, "msg_id": e.msg_id},
+            ))
+        if e.buffered > tol:
+            out.append(WaitState(
+                e.dst, e.t_arrival, e.t_recv_start, EARLY_SENDER, e.src,
+                "", {"tag": e.tag, "msg_id": e.msg_id},
+            ))
+    for rec in causal.collectives():
+        for rank, enter in rec.enter_clocks.items():
+            w = rec.t_ready - enter
+            if rank == rec.straggler or w <= tol:
+                continue
+            cause = dominant_span(
+                spans_by_rank.get(rec.straggler, ()), enter, rec.t_ready
+            )
+            out.append(WaitState(
+                rank, enter, rec.t_ready, COLLECTIVE_STRAGGLER,
+                rec.straggler,
+                cause.name if cause is not None else "",
+                {"kind": rec.kind, "coll_id": rec.coll_id},
+            ))
+    out.sort(key=lambda w: (w.t0, w.rank, w.t1))
+    return out
+
+
+# -- conservation ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConservationRow:
+    """Per-rank accounting vs. the rank's actual final clock."""
+
+    rank: int
+    compute: float
+    transfer: float
+    wait: float
+    classified_wait: float
+    makespan: float  # the rank's final virtual clock
+
+    @property
+    def residual(self) -> float:
+        """``makespan - (compute + transfer + wait)`` (should be ~0)."""
+        return self.makespan - (self.compute + self.transfer + self.wait)
+
+    @property
+    def wait_residual(self) -> float:
+        """Accounted wait minus the classified wait states (~0)."""
+        return self.wait - self.classified_wait
+
+
+@dataclass(frozen=True)
+class ConservationReport:
+    """Outcome of :func:`conservation` over every rank."""
+
+    rows: tuple
+    tol: float
+
+    @property
+    def max_residual(self) -> float:
+        return max((abs(r.residual) for r in self.rows), default=0.0)
+
+    @property
+    def max_wait_residual(self) -> float:
+        return max((abs(r.wait_residual) for r in self.rows), default=0.0)
+
+    @property
+    def ok(self) -> bool:
+        return (self.max_residual <= self.tol
+                and self.max_wait_residual <= self.tol)
+
+    def raise_if_violated(self) -> None:
+        """Raise ``AssertionError`` naming the worst offending rank."""
+        if self.ok:
+            return
+        worst = max(self.rows,
+                    key=lambda r: max(abs(r.residual),
+                                      abs(r.wait_residual)))
+        raise AssertionError(
+            f"conservation violated on rank {worst.rank}: "
+            f"compute={worst.compute:.9f} + transfer={worst.transfer:.9f}"
+            f" + wait={worst.wait:.9f} != clock={worst.makespan:.9f} "
+            f"(residual {worst.residual:.3e}, "
+            f"wait residual {worst.wait_residual:.3e}, tol {self.tol:g})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "tol": self.tol,
+            "max_residual": self.max_residual,
+            "max_wait_residual": self.max_wait_residual,
+            "ranks": [
+                {"rank": r.rank, "compute": r.compute,
+                 "transfer": r.transfer, "wait": r.wait,
+                 "classified_wait": r.classified_wait,
+                 "clock": r.makespan, "residual": r.residual}
+                for r in self.rows
+            ],
+        }
+
+
+def conservation(obs, clocks, tol: float = 1e-9,
+                 waits=None) -> ConservationReport:
+    """Check compute+transfer+wait == final clock on every rank.
+
+    ``clocks`` is the per-rank final-clock list from the run result.
+    Also cross-checks that the classified wait states
+    (:func:`classify_waits`, minus :data:`EARLY_SENDER` entries) sum to
+    each rank's accounted wait, so the classifier provably covers every
+    idle second. Pass precomputed ``waits`` to avoid reclassifying.
+    """
+    accounts = obs.causal.accounts()
+    if waits is None:
+        waits = classify_waits(obs)
+    classified: dict[int, float] = {}
+    for w in waits:
+        if w.category != EARLY_SENDER:
+            classified[w.rank] = classified.get(w.rank, 0.0) + w.seconds
+    rows = []
+    for rank, clock in enumerate(clocks):
+        acct = accounts.get(rank)
+        if acct is None:
+            acct = RankAccount(rank)
+        rows.append(ConservationRow(
+            rank, acct.compute, acct.transfer, acct.wait,
+            classified.get(rank, 0.0), clock,
+        ))
+    return ConservationReport(tuple(rows), tol)

@@ -5,7 +5,10 @@ speedscope) maps naturally onto a workflow run: one *pid* per task, one
 *tid* per rank, virtual-clock seconds as microsecond timestamps. Spans
 become complete (``"ph": "X"``) events; point-to-point trace events and
 recorded instants become instant (``"ph": "i"``) events; task and rank
-names ride along as metadata (``"ph": "M"``) events.
+names ride along as metadata (``"ph": "M"``) events; causal flow edges
+(matched send -> recv pairs) become flow start/finish
+(``"ph": "s"`` / ``"ph": "f"``) pairs, which Perfetto renders as
+arrows between the sender's and receiver's tracks.
 """
 
 from __future__ import annotations
@@ -90,6 +93,25 @@ def chrome_trace(obs, events=()) -> dict:
                      "nbytes": e.nbytes},
         })
 
+    causal = getattr(obs, "causal", None)
+    if causal is not None:
+        for edge in causal.edges():
+            thread_meta(edge.src)
+            thread_meta(edge.dst)
+            name = f"msg tag={edge.tag}"
+            out.append({
+                "ph": "s", "id": edge.msg_id, "name": name, "cat": "flow",
+                "ts": edge.t_post * _US, "pid": pid_of(edge.src),
+                "tid": edge.src,
+                "args": {"tag": edge.tag, "nbytes": edge.nbytes,
+                         "comm": edge.comm_id},
+            })
+            out.append({
+                "ph": "f", "bp": "e", "id": edge.msg_id, "name": name,
+                "cat": "flow", "ts": edge.t_recv * _US,
+                "pid": pid_of(edge.dst), "tid": edge.dst,
+            })
+
     return {"traceEvents": out, "displayTimeUnit": "ms",
             "otherData": {"clock": "virtual",
                           "metrics": metrics_dump(obs.metrics)}}
@@ -107,7 +129,8 @@ def validate_chrome_trace(doc: dict) -> None:
     """Raise ``ValueError`` unless ``doc`` is a well-formed trace.
 
     Checks the envelope and the per-event required fields for the
-    phases this exporter emits (``X``, ``i``, ``M``).
+    phases this exporter emits (``X``, ``i``, ``M``, and the flow pair
+    ``s``/``f``).
     """
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         raise ValueError("missing traceEvents")
@@ -117,7 +140,7 @@ def validate_chrome_trace(doc: dict) -> None:
         if not isinstance(ev, dict):
             raise ValueError(f"event is not an object: {ev!r}")
         ph = ev.get("ph")
-        if ph not in ("X", "i", "M"):
+        if ph not in ("X", "i", "M", "s", "f"):
             raise ValueError(f"unsupported phase {ph!r}")
         for k in ("name", "pid", "tid"):
             if k not in ev:
@@ -129,6 +152,9 @@ def validate_chrome_trace(doc: dict) -> None:
                 raise ValueError(f"negative duration: {ev!r}")
         if ph == "i" and "ts" not in ev:
             raise ValueError(f"i event missing ts: {ev!r}")
+        if ph in ("s", "f"):
+            if "ts" not in ev or "id" not in ev:
+                raise ValueError(f"flow event missing ts/id: {ev!r}")
     json.dumps(doc)  # must be serializable as-is
 
 

@@ -39,8 +39,11 @@ class FlightRecorder:
     """Per-rank bounded ring buffers of :class:`FlightEvent`.
 
     ``capacity`` is per rank; the oldest events are evicted first.
-    Appends are cheap (one deque append) and each rank is written by a
-    single thread, so contention is limited to ring creation.
+    Appends and snapshots both take the recorder lock: a rank's ring
+    may be *read* (post-mortem dump, live inspection) while other
+    ranks' threads are still appending, and iterating a deque that is
+    mutated concurrently raises ``RuntimeError``, so :meth:`events`
+    must copy under the same lock the writers hold.
     """
 
     def __init__(self, capacity: int = 256):
@@ -50,30 +53,24 @@ class FlightRecorder:
         self._rings: dict[int, deque] = {}
         self._lock = threading.Lock()
 
-    def _ring(self, rank: int) -> deque:
-        ring = self._rings.get(rank)
-        if ring is None:
-            with self._lock:
-                ring = self._rings.setdefault(
-                    rank, deque(maxlen=self.capacity)
-                )
-        return ring
-
     def record(self, rank: int, vtime: float, kind: str, name: str,
                **detail) -> None:
         """Append one event to ``rank``'s ring (evicting the oldest)."""
-        self._ring(rank).append(
-            FlightEvent(vtime, rank, kind, name,
-                        tuple(sorted(detail.items())))
-        )
+        ev = FlightEvent(vtime, rank, kind, name,
+                         tuple(sorted(detail.items())))
+        with self._lock:
+            ring = self._rings.get(rank)
+            if ring is None:
+                ring = self._rings[rank] = deque(maxlen=self.capacity)
+            ring.append(ev)
 
     def events(self, rank: int | None = None) -> list[FlightEvent]:
         """Retained events of one rank (or all ranks, time-ordered)."""
-        if rank is not None:
-            return list(self._rings.get(rank, ()))
-        out = []
         with self._lock:
-            rings = list(self._rings.values())
+            if rank is not None:
+                return list(self._rings.get(rank, ()))
+            rings = [list(ring) for ring in self._rings.values()]
+        out = []
         for ring in rings:
             out.extend(ring)
         out.sort(key=lambda e: (e.vtime, e.rank))

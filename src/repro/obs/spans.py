@@ -132,14 +132,21 @@ class SpanRecorder:
         return ev
 
     def add(self, name: str, cat: str, rank: int, t0: float, t1: float,
-            labels: dict | None = None) -> SpanEvent:
-        """Record an already-measured span (no nesting bookkeeping)."""
-        stack = self._stack()
-        parent = stack[-1].span_id if stack else None
+            labels: dict | None = None,
+            parent_id: int | None = None) -> SpanEvent:
+        """Record an already-measured span (no nesting bookkeeping).
+
+        The parent link is *explicit*: pass ``parent_id`` (e.g. from an
+        open span's handle) to nest the span, or leave it ``None`` for
+        a top-level span. The calling thread's open-span stack is
+        deliberately not consulted -- a helper thread recording on
+        behalf of another rank must not adopt its own unrelated open
+        span as the parent.
+        """
         with self._lock:
             sid = self._next_id
             self._next_id += 1
-            ev = SpanEvent(sid, parent, name, cat, rank, t0, t1,
+            ev = SpanEvent(sid, parent_id, name, cat, rank, t0, t1,
                            dict(labels) if labels else {})
             self._spans.append(ev)
         return ev

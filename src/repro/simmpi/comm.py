@@ -27,6 +27,8 @@ class _CollectiveCtx:
         self.complete = -1
         self.draining = False
         self.entries: dict[int, object] = {}
+        # world rank -> clock at entry (straggler attribution)
+        self.enter_clocks: dict[int, float] = {}
         self.max_clock = float("-inf")
         self.result = None
         self.final_clock = 0.0
@@ -98,16 +100,24 @@ class Comm:
         """Advance this rank's virtual clock by ``seconds`` of local work."""
         if seconds < 0:
             raise ValueError("seconds must be >= 0")
-        self._proc().clock += seconds
+        proc = self._proc()
+        proc.clock += seconds
+        self.engine.obs.causal.account(proc.rank).compute += seconds
         self.engine.maybe_crash()
 
     def charge_memcpy(self, nbytes: int) -> None:
         """Charge a bulk contiguous copy of ``nbytes`` to the clock."""
-        self._proc().clock += self.model.memcpy_time(nbytes)
+        proc = self._proc()
+        dt = self.model.memcpy_time(nbytes)
+        proc.clock += dt
+        self.engine.obs.causal.account(proc.rank).compute += dt
 
     def charge_pack_elements(self, nelements: int) -> None:
         """Charge per-element (point-at-a-time) serialization work."""
-        self._proc().clock += self.model.pack_elements_time(nelements)
+        proc = self._proc()
+        dt = self.model.pack_elements_time(nelements)
+        proc.clock += dt
+        self.engine.obs.causal.account(proc.rank).compute += dt
 
     @property
     def vtime(self) -> float:
@@ -128,6 +138,8 @@ class Comm:
         nb = payload_nbytes(payload) if nbytes is None else int(nbytes)
         model = self.model
         proc.clock += model.msg_overhead
+        self.engine.obs.causal.account(proc.rank).transfer += \
+            model.msg_overhead
         arrival = proc.clock + model.transfer_time(nb, self.engine.nprocs)
         dst_world = self._dest_world(dest)
         self.engine.deliver(
@@ -194,10 +206,41 @@ class Comm:
             proc.consumed.add(m.dup_of)
         return m
 
+    def _finish_recv(self, proc, msg, t_start: float) -> int:
+        """Complete a matched receive: advance the clock, charge the
+        wait/transfer split to the rank's ledger and record the causal
+        flow edge. Returns the sender's world rank.
+
+        The blocked interval ``[t_start, arrival]`` is split at the
+        sender's post time: idling before the post is *wait* (late
+        sender), the remainder plus the receive overhead is *transfer*
+        (wire time). Fault plans may rewrite ``arrival``, so both
+        pieces are clamped to be non-negative.
+        """
+        arrival = msg.arrival
+        overhead = self.model.msg_overhead
+        proc.clock = max(t_start, arrival) + overhead
+        blocked = max(0.0, arrival - t_start)
+        wait = min(blocked, max(0.0, msg.sent_at - t_start))
+        causal = self.engine.obs.causal
+        acct = causal.account(proc.rank)
+        acct.wait += wait
+        acct.transfer += (blocked - wait) + overhead
+        src_world = (msg.src_world if msg.src_world >= 0
+                     else self._src_world(msg.src))
+        causal.edge(
+            msg_id=msg.msg_id, src=src_world, dst=proc.rank,
+            tag=msg.tag, comm_id=self.comm_id, nbytes=msg.nbytes,
+            t_post=msg.sent_at, t_arrival=arrival,
+            t_recv_start=t_start, t_recv=proc.clock,
+        )
+        return src_world
+
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Blocking receive; returns ``(payload, Status)``."""
         proc = self._proc()
         self.engine.maybe_crash()
+        t_start = proc.clock
         with proc.cond:
             msg_holder = []
 
@@ -213,25 +256,24 @@ class Comm:
                 f"message (comm {self.comm_id}, source {source}, tag {tag})",
             )
             msg = msg_holder[0]
-        proc.clock = max(proc.clock, msg.arrival) + self.model.msg_overhead
+        src_world = self._finish_recv(proc, msg, t_start)
         self.engine.maybe_crash()
         self.engine.record(proc.clock, "recv", proc.rank,
-                           self._src_world(msg.src), msg.tag,
-                           msg.nbytes)
+                           src_world, msg.tag, msg.nbytes)
         return msg.payload, Status(msg.src, msg.tag, msg.nbytes)
 
     def _try_recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Nonblocking receive; ``(payload, Status)`` or ``None``."""
         proc = self._proc()
         self.engine.maybe_crash()
+        t_start = proc.clock
         with proc.cond:
             msg = self._pop_match(proc, source, tag)
         if msg is None:
             return None
-        proc.clock = max(proc.clock, msg.arrival) + self.model.msg_overhead
+        src_world = self._finish_recv(proc, msg, t_start)
         self.engine.record(proc.clock, "recv", proc.rank,
-                           self._src_world(msg.src), msg.tag,
-                           msg.nbytes)
+                           src_world, msg.tag, msg.nbytes)
         return msg.payload, Status(msg.src, msg.tag, msg.nbytes)
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
@@ -302,17 +344,24 @@ class Comm:
             proc.rank, f"mpi.{kind}", "simmpi", proc.clock,
             {"comm": self.comm_id, "nbytes": nbytes},
         )
+        enter = proc.clock
         with ctx.cond:
             self.engine.wait_on(
                 ctx.cond, lambda: not ctx.draining, f"{kind} (drain)"
             )
             gen = ctx.generation
             ctx.entries[me] = contribution
+            ctx.enter_clocks[proc.rank] = proc.clock
             ctx.max_clock = max(ctx.max_clock, proc.clock)
             if len(ctx.entries) == ctx.size:
                 ctx.result = reducer(dict(ctx.entries))
                 ctx.final_clock = ctx.max_clock + self.model.collective_time(
                     cost_kind, ctx.size, nbytes
+                )
+                obs.causal.collective(
+                    kind=kind, comm_id=self.comm_id, nbytes=nbytes,
+                    enter_clocks=ctx.enter_clocks, t_ready=ctx.max_clock,
+                    t_end=ctx.final_clock,
                 )
                 ctx.complete = gen
                 ctx.draining = True
@@ -323,15 +372,20 @@ class Comm:
                 )
             result = ctx.result
             final = ctx.final_clock
+            ready = ctx.max_clock
             ctx.nleft += 1
             if ctx.nleft == ctx.size:
                 ctx.entries = {}
+                ctx.enter_clocks = {}
                 ctx.nleft = 0
                 ctx.draining = False
                 ctx.generation += 1
                 ctx.max_clock = float("-inf")
                 ctx.cond.notify_all()
         proc.clock = final
+        acct = obs.causal.account(proc.rank)
+        acct.wait += max(0.0, ready - enter)
+        acct.transfer += final - ready
         obs.spans.end(open_span, proc.clock)
         self.engine.record(proc.clock, "coll", proc.rank, -1, 0,
                            nbytes, label=kind)

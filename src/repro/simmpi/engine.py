@@ -289,6 +289,11 @@ class Engine:
             if dup is not None:
                 box.append(dup)
             dst.cond.notify_all()
+        # Delivery marker on the *destination* ring (written from the
+        # sender's thread; FlightRecorder serializes appends).
+        self.obs.flight.record(msg.dst_world, msg.arrival, "deliver",
+                               f"tag {msg.tag}", src=msg.src_world,
+                               msg_id=msg.msg_id, nbytes=msg.nbytes)
         with self._stats_lock:
             self.n_messages += 1
             self.n_bytes += msg.nbytes

@@ -53,6 +53,11 @@ class Message:
     has_dup: bool = False  # an injected copy of this message exists
     seq: int = field(default_factory=lambda: next(_seq))
 
+    @property
+    def msg_id(self) -> int:
+        """Globally unique message id (causal flow-edge key)."""
+        return self.seq
+
     def matches(self, source: int, tag: int) -> bool:
         """True when (source, tag) match this envelope."""
         return (source == ANY_SOURCE or source == self.src) and (

@@ -49,17 +49,19 @@ def import_store(directory: str, store: PFSStore | None = None) -> PFSStore:
 
 
 def main(argv=None) -> int:
-    """``python -m repro.tools h5dump|h5ls <dir> <file>`` or
-    ``python -m repro.tools trace <out.json>``."""
+    """``python -m repro.tools h5dump|h5ls <dir> <file>``,
+    ``python -m repro.tools trace <out.json>`` or
+    ``python -m repro.tools critpath [--strict ...]``."""
     import argparse
 
+    from repro.tools.critpath import add_parser as add_critpath
     from repro.tools.inspect import h5dump, h5ls
 
     ap = argparse.ArgumentParser(
         prog="repro.tools",
         description="Inspect native-format files exported from a "
-                    "simulated PFS, or export a demo run as a Chrome "
-                    "trace.",
+                    "simulated PFS, export a demo run as a Chrome "
+                    "trace, or run the causal critical-path analysis.",
     )
     sub = ap.add_subparsers(dest="command", required=True)
     for cmd, fn in (("h5ls", h5ls), ("h5dump", h5dump)):
@@ -80,7 +82,11 @@ def main(argv=None) -> int:
                     help="consumer ranks (default 2)")
     pt.add_argument("--mode", choices=["memory", "file", "both"],
                     default="memory", help="LowFive transport mode")
+    add_critpath(sub)
     args = ap.parse_args(argv)
+
+    if args.command == "critpath":
+        return args.run(args)
 
     if args.command == "trace":
         from repro.tools.trace import export_demo_trace, trace_summary

@@ -65,6 +65,21 @@ class WorkflowResult:
     #: Tasks dropped by a ``RestartPolicy(on_exhausted="continue")``.
     failed_tasks: tuple = ()
 
+    def causal_report(self, tol: float = 1e-9):
+        """Causal analysis of the run: critical path, wait-state
+        classification, per-rank conservation check.
+
+        Returns a :class:`~repro.obs.critpath.CausalReport`; ``tol`` is
+        the conservation tolerance in virtual seconds.
+        """
+        from repro.obs.critpath import analyze
+
+        if self.obs is None or not self.clocks:
+            raise ValueError(
+                "causal_report() needs the run's obs and clocks"
+            )
+        return analyze(self.obs, self.clocks, tol=tol)
+
 
 class Workflow:
     """A directed graph of tasks linked producer -> consumer.

@@ -1,5 +1,7 @@
 """Flight recorder: bounded per-rank rings, eviction, dumps."""
 
+import threading
+
 import pytest
 
 from repro.obs.recorder import FlightRecorder
@@ -44,6 +46,45 @@ class TestRecording:
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             FlightRecorder(capacity=0)
+
+
+class TestThreadSafety:
+    def test_concurrent_writes_and_reads(self):
+        # Engine threads append (e.g. a sender recording a delivery on
+        # the receiver's ring) while others read; events() must
+        # snapshot under the lock instead of iterating live deques.
+        fr = FlightRecorder(capacity=64)
+        stop = threading.Event()
+        errors = []
+
+        def writer(rank):
+            i = 0
+            while not stop.is_set():
+                fr.record(rank, float(i), "tick", str(i), seq=i)
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    for e in fr.events():
+                        assert e.name is not None
+                    fr.dump()
+                except (RuntimeError, AssertionError) as exc:
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=writer, args=(r,))
+                   for r in range(3)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        stop_timer = threading.Timer(0.3, stop.set)
+        stop_timer.start()
+        for t in threads:
+            t.join(10.0)
+        stop_timer.cancel()
+        stop.set()
+        assert not errors
 
 
 class TestDump:

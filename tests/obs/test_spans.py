@@ -65,12 +65,18 @@ class TestNesting:
         assert s1.parent_id == pe.span_id == s2.parent_id
         assert {s.name for s in rec.children_of(pe.span_id)} == {"s1", "s2"}
 
-    def test_add_inherits_open_parent(self):
+    def test_add_parent_is_explicit(self):
+        # add() must NOT adopt the calling thread's open span: a helper
+        # thread recording on behalf of another rank would otherwise
+        # get a bogus cross-rank parent. The link is opt-in.
         rec = SpanRecorder()
         p = rec.begin(0, "p", "", 0.0)
-        direct = rec.add("measured", "", 0, 0.2, 0.8)
+        orphan = rec.add("measured", "", 0, 0.2, 0.8)
+        child = rec.add("measured2", "", 0, 0.2, 0.8,
+                        parent_id=p.span_id)
         rec.end(p, 1.0)
-        assert direct.parent_id == p.span_id
+        assert orphan.parent_id is None
+        assert child.parent_id == p.span_id
 
     def test_end_pops_unclosed_children(self):
         rec = SpanRecorder()
