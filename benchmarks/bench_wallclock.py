@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Wall-clock performance harness for the simulator core.
+
+``python benchmarks/bench_wallclock.py --output BENCH_wallclock.json``
+times, in *real* seconds, the fig5 executed drivers (LowFive memory and
+file mode), the fig7 pure-MPI baseline, and a high-rank message-matching
+stress workload (default 256 simulated ranks doing reverse-order
+many-to-one receives -- the worst case for mailbox matching and wakeup
+delivery). Virtual-time results (``vtime``, ``messages``,
+``bytes_sent``) are recorded alongside so perf PRs can prove the cost
+model is untouched: none of these fields may drift.
+
+With ``--check-ref`` the run is compared against a committed reference
+(``benchmarks/BENCH_wallclock_ref.json``): any virtual-time drift exits
+nonzero, and wall-clock speedups vs the reference's recorded seed
+timings are written into the output document. Wall seconds are
+machine-dependent, so speedups are informational; the drift check is
+the hard gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+#: Bump when the document layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Virtual fields that must be bit-identical across perf-only changes.
+VIRTUAL_FIELDS = ("vtime", "messages", "bytes_sent")
+
+DEFAULT_REF = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "BENCH_wallclock_ref.json")
+
+
+def stress_matching(comm, rounds: int = 4, flood: int = 8):
+    """Reverse-order many-to-one: the mailbox-matching worst case.
+
+    Every rank floods rank 0, which receives fully-qualified
+    ``(source, tag)`` matches in *reverse* source order, so the mailbox
+    backs up to ~``(size-1) * flood`` messages and every receive used
+    to rescan all of them (and every delivery used to wake rank 0).
+    """
+    me, n = comm.rank, comm.size
+    if me == 0:
+        for r in range(rounds):
+            for src in range(n - 1, 0, -1):
+                for _ in range(flood):
+                    comm.recv(source=src, tag=r)
+    else:
+        for r in range(rounds):
+            for k in range(flood):
+                comm.send((me, r, k), dest=0, tag=r)
+    return comm.vtime
+
+
+def _timed(fn, repeats: int):
+    """Best-of-``repeats`` wall time; returns (wall_seconds, result)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        wall = time.perf_counter() - t0
+        best = wall if best is None else min(best, wall)
+    return best, result
+
+
+def run_suite(elems: int, nprocs: int, stress_ranks: int,
+              repeats: int) -> list[dict]:
+    """Execute every workload; returns the per-run records."""
+    import repro.bench as bench
+    from repro.simmpi import run_world
+    from repro.synth import SyntheticWorkload
+
+    wl = SyntheticWorkload(grid_points_per_proc=elems,
+                           particles_per_proc=elems)
+    nprod, ncons = wl.split_procs(nprocs)
+    runs = []
+    for figure, transport, fn in (
+        ("fig5", "lowfive_memory", "run_lowfive_memory"),
+        ("fig5", "lowfive_file", "run_lowfive_file"),
+        ("fig7", "pure_mpi", "run_pure_mpi"),
+    ):
+        wall, res = _timed(
+            lambda fn=fn: getattr(bench, fn)(nprod, ncons, wl), repeats)
+        runs.append({
+            "workload": f"{figure}/{transport}/P{nprocs}",
+            "nprocs": nprocs,
+            "wall_seconds": wall,
+            "vtime": res.vtime,
+            "messages": res.messages,
+            "bytes_sent": res.bytes_sent,
+        })
+
+    wall, res = _timed(
+        lambda: run_world(stress_ranks, stress_matching, timeout=600.0),
+        repeats)
+    runs.append({
+        "workload": f"stress/matching/R{stress_ranks}",
+        "nprocs": stress_ranks,
+        "wall_seconds": wall,
+        "vtime": res.vtime,
+        "messages": res.messages,
+        "bytes_sent": res.bytes_sent,
+    })
+    return runs
+
+
+def compare(runs: list[dict], ref: dict) -> tuple[list[str], bool]:
+    """Annotate ``runs`` with speedups vs ``ref``; returns
+    (drift problems, compared anything)."""
+    problems = []
+    compared = False
+    ref_runs = {r["workload"]: r for r in ref.get("runs", [])}
+    for run in runs:
+        base = ref_runs.get(run["workload"])
+        if base is None:
+            continue
+        compared = True
+        for fieldname in VIRTUAL_FIELDS:
+            if run[fieldname] != base[fieldname]:
+                problems.append(
+                    f"{run['workload']}: {fieldname} drifted "
+                    f"{base[fieldname]!r} -> {run[fieldname]!r}"
+                )
+        if base.get("wall_seconds"):
+            run["ref_wall_seconds"] = base["wall_seconds"]
+            run["speedup_vs_reference"] = (
+                base["wall_seconds"] / run["wall_seconds"]
+            )
+    return problems, compared
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    ap.add_argument("--output", default="BENCH_wallclock.json",
+                    help="output path (default BENCH_wallclock.json)")
+    ap.add_argument("--elems", type=int,
+                    default=int(os.environ.get("REPRO_BENCH_ELEMS",
+                                               "60000")),
+                    help="elements per producer rank for the fig "
+                         "drivers (default 60000, or REPRO_BENCH_ELEMS)")
+    ap.add_argument("--nprocs", type=int, default=4,
+                    help="total ranks for the fig drivers (default 4)")
+    ap.add_argument("--stress-ranks", type=int, default=256,
+                    help="simulated ranks of the matching stress "
+                         "workload (default 256)")
+    ap.add_argument("--repeats", type=int, default=1,
+                    help="timing repeats per workload; best is kept")
+    ap.add_argument("--ref", default=DEFAULT_REF,
+                    help="reference document for speedup/drift "
+                         "comparison (default the committed seed "
+                         "baseline)")
+    ap.add_argument("--check-ref", action="store_true",
+                    help="exit nonzero when any virtual-time field "
+                         "drifts from the reference")
+    args = ap.parse_args(argv)
+
+    runs = run_suite(args.elems, args.nprocs, args.stress_ranks,
+                     args.repeats)
+
+    problems: list[str] = []
+    ref_doc = None
+    if os.path.exists(args.ref):
+        with open(args.ref) as f:
+            ref_doc = json.load(f)
+        ref_params = ref_doc.get("params", {})
+        our_params = {"elems_per_proc": args.elems, "nprocs": args.nprocs,
+                      "stress_ranks": args.stress_ranks}
+        if all(ref_params.get(k) == v for k, v in our_params.items()):
+            problems, compared = compare(runs, ref_doc)
+            if args.check_ref and not compared:
+                problems.append("reference matched no workloads")
+        elif args.check_ref:
+            problems.append(
+                f"reference params {ref_params} do not cover this run "
+                f"({our_params}); cannot check drift"
+            )
+    elif args.check_ref:
+        problems.append(f"reference {args.ref} not found")
+
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "params": {
+            "elems_per_proc": args.elems,
+            "nprocs": args.nprocs,
+            "stress_ranks": args.stress_ranks,
+            "repeats": args.repeats,
+            "machine": "THETA_KNL",
+        },
+        "runs": runs,
+    }
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    for run in runs:
+        speed = run.get("speedup_vs_reference")
+        extra = f"  ({speed:.1f}x vs reference)" if speed else ""
+        print(f"{run['workload']:32s} {run['wall_seconds']:8.3f}s "
+              f"vtime={run['vtime']:.6g}{extra}")
+    print(f"wrote {args.output}: {len(runs)} runs, "
+          f"schema v{SCHEMA_VERSION}")
+    for p in problems:
+        print(f"ERROR: {p}", file=sys.stderr)
+    return 1 if (problems and args.check_ref) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

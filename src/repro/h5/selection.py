@@ -100,12 +100,31 @@ class Selection(ABC):
         return PointSelection(shape, c)
 
     def same_elements(self, other: "Selection") -> bool:
-        """True when both select the same coordinate set (order ignored)."""
+        """True when both select the same coordinate set (order ignored).
+
+        Vectorized: separable selections compare their per-dimension
+        index arrays directly (each is sorted and duplicate-free, so
+        the cartesian products are equal iff the factors are); anything
+        else compares row-sorted coordinate arrays -- no Python-level
+        sets of coordinate tuples are built.
+        """
         if self.shape != other.shape or self.npoints != other.npoints:
             return False
-        a = {tuple(c) for c in self.coords()}
-        b = {tuple(c) for c in other.coords()}
-        return a == b
+        if self.npoints == 0:
+            return True
+        if self.is_separable and other.is_separable:
+            return all(
+                np.array_equal(a, b)
+                for a, b in zip(self.per_dim_indices(),
+                                other.per_dim_indices())
+            )
+        a = self.coords()
+        b = other.coords()
+        # Coordinate rows may repeat only if a producer passed duplicate
+        # points; lexicographic row sort makes the comparison orderless.
+        a = a[np.lexsort(a.T[::-1])]
+        b = b[np.lexsort(b.T[::-1])]
+        return bool(np.array_equal(a, b))
 
     def _check_extent(self, other: "Selection") -> None:
         if self.shape != other.shape:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.obs import span as obs_span
-from repro.simmpi import ANY_SOURCE, Intercomm
+from repro.simmpi import ANY_SOURCE, Intercomm, WAKE_ANY
 
 #: Tag used for RPC requests (client -> server).
 TAG_REQUEST = 701
@@ -94,6 +94,9 @@ class RPCClient:
     def __init__(self, inter: Intercomm, retry: RetryPolicy | None = None):
         self.inter = inter
         self.retry = retry if retry is not None else RetryPolicy()
+        # (fn, rank) -> bound retry counter; resolved once per pair so
+        # faulty runs with many retries skip the metric-key build.
+        self._retry_counters: dict[tuple, object] = {}
 
     @property
     def remote_size(self) -> int:
@@ -126,8 +129,12 @@ class RPCClient:
                     # Wait out the attempt's timeout in virtual time.
                     self.inter.compute(policy.wait_for(attempt))
                     if attempt < attempts - 1:
-                        obs.metrics.inc("rpc.retry.count", 1,
-                                        fn=fn, rank=me)
+                        ctr = self._retry_counters.get((fn, me))
+                        if ctr is None:
+                            ctr = obs.metrics.counter(
+                                "rpc.retry.count", fn=fn, rank=me)
+                            self._retry_counters[(fn, me)] = ctr
+                        ctr.inc(1)
                     continue
             self.inter.send((fn, args), dest, TAG_REQUEST, nbytes=nbytes)
             reply, _ = self.inter.recv(source=dest, tag=TAG_REPLY)
@@ -251,12 +258,14 @@ class RPCServer:
         """True when any attached intercomm has an undelivered request
         or control message waiting; must hold ``proc.lock``."""
         for inter in self._inters:
-            box = proc.mailbox.get(inter.comm_id)
-            if not box:
+            mbox = proc.mailbox.get(inter.comm_id)
+            if not mbox:
                 continue
-            for m in box:
-                if m.tag in (TAG_REQUEST, TAG_CTRL):
-                    return True
+            if (mbox.peek_match(ANY_SOURCE, TAG_REQUEST, proc.consumed)
+                    is not None
+                    or mbox.peek_match(ANY_SOURCE, TAG_CTRL, proc.consumed)
+                    is not None):
+                return True
         return False
 
     def serve(self, timeout: float = 60.0) -> None:
@@ -302,15 +311,23 @@ class RPCServer:
                     "time; consumers never signalled done"
                 )
             # Sleep until traffic arrives or the machine advances past
-            # the virtual deadline; the engine watchdog bounds real time.
+            # the virtual deadline; the engine watchdog bounds real
+            # time. Any delivery may be ours (WAKE_ANY), and the
+            # virtual deadline can pass without traffic, so this wait
+            # polls -- unlike mailbox waits, which are event-driven.
             with proc.cond:
-                engine.wait_on(
-                    proc.cond,
-                    lambda: (self._has_inbound(proc)
-                             or self._global_vtime() - last_progress
-                             >= timeout),
-                    "rpc traffic",
-                )
+                proc.wait_spec = WAKE_ANY
+                try:
+                    engine.wait_on(
+                        proc.cond,
+                        lambda: (self._has_inbound(proc)
+                                 or self._global_vtime() - last_progress
+                                 >= timeout),
+                        "rpc traffic",
+                        poll=engine._POLL,
+                    )
+                finally:
+                    proc.wait_spec = None
         # Reset for a potential next serve epoch (next file close).
         for inter in self._inters:
             self._done[id(inter)] = set()

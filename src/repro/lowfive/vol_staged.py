@@ -35,6 +35,7 @@ from repro.h5 import format as h5format
 from repro.h5.errors import NotFoundError
 from repro.h5.objects import DatasetNode, OWN_SHALLOW
 from repro.lowfive.rpc import Defer, RPCClient, RPCServer, RPCTimeout
+from repro.simmpi import WAKE_ANY
 from repro.lowfive.vol_dist import (
     DistMetadataVOL,
     _box_shape,
@@ -329,9 +330,13 @@ def staging_main(inters, costs=None, timeout: float = 60.0) -> dict:
     proc = engine.current_proc()
 
     def _inbound() -> bool:
-        # Any message on a staging comm is ours (requests, control
+        # Any live message on a staging comm is ours (requests, control
         # notifications, or staged bundles); must hold ``proc.lock``.
-        return any(proc.mailbox.get(i.comm_id) for i in inters)
+        for i in inters:
+            mbox = proc.mailbox.get(i.comm_id)
+            if mbox is not None and mbox.has_live(proc.consumed):
+                return True
+        return False
 
     from repro.obs import span as obs_span
 
@@ -357,14 +362,22 @@ def staging_main(inters, costs=None, timeout: float = 60.0) -> dict:
                 raise RPCTimeout(
                     f"staging rank starved for {timeout:.0f}s virtual time"
                 )
+            # Like RPCServer.serve: any delivery may be ours, and the
+            # virtual deadline can pass without a notification, so
+            # this wait registers WAKE_ANY and polls.
             with proc.cond:
-                engine.wait_on(
-                    proc.cond,
-                    lambda: (_inbound()
-                             or server._global_vtime() - last_progress
-                             >= timeout),
-                    "staged traffic",
-                )
+                proc.wait_spec = WAKE_ANY
+                try:
+                    engine.wait_on(
+                        proc.cond,
+                        lambda: (_inbound()
+                                 or server._global_vtime() - last_progress
+                                 >= timeout),
+                        "staged traffic",
+                        poll=engine._POLL,
+                    )
+                finally:
+                    proc.wait_spec = None
     return {fname: sum(len(n.pieces) for n in _tree(fname).walk()
                        if isinstance(n, DatasetNode))
             for fname in skeletons}

@@ -56,6 +56,7 @@ from repro.obs.export import (
     write_chrome_trace,
 )
 from repro.obs.metrics import (
+    BoundCounter,
     MetricsRegistry,
     MetricsSnapshot,
     merge_snapshots,
@@ -67,6 +68,7 @@ __all__ = [
     "ObsContext",
     "obs_of",
     "span",
+    "BoundCounter",
     "MetricsRegistry",
     "MetricsSnapshot",
     "merge_snapshots",

@@ -132,6 +132,30 @@ _KINDS = {"counter": CounterValue, "gauge": GaugeValue,
           "histogram": HistogramValue}
 
 
+class BoundCounter:
+    """A pre-resolved handle onto one counter slot.
+
+    Hot paths (one or more increments *per simulated message*) resolve
+    the ``(name, labels)`` key once via
+    :meth:`MetricsRegistry.counter`; every subsequent :meth:`inc` is a
+    single locked float-add with no kwargs dict, no ``sorted(labels)``
+    key build and no registry lookup. Increments land in the same slot
+    plain :meth:`MetricsRegistry.inc` calls would, so snapshots and
+    merges are unchanged.
+    """
+
+    __slots__ = ("_lock", "_slot")
+
+    def __init__(self, lock, slot: CounterValue):
+        self._lock = lock
+        self._slot = slot
+
+    def inc(self, value: float = 1.0) -> None:
+        """Add ``value`` to the bound counter."""
+        with self._lock:
+            self._slot.inc(value)
+
+
 @dataclass(frozen=True)
 class MetricsSnapshot:
     """Immutable point-in-time copy of a registry.
@@ -207,6 +231,19 @@ class MetricsRegistry:
             labels["rank"] = rank
         with self._lock:
             self._slot("counter", name, labels).inc(value)
+
+    def counter(self, name: str, *, rank=None, **labels) -> BoundCounter:
+        """Resolve ``(name, labels)`` once; returns a cheap bound handle.
+
+        Use on hot paths instead of repeated :meth:`inc` calls with the
+        same labels -- the handle's :meth:`BoundCounter.inc` skips the
+        per-call key construction entirely.
+        """
+        if rank is not None:
+            labels["rank"] = rank
+        with self._lock:
+            slot = self._slot("counter", name, labels)
+        return BoundCounter(self._lock, slot)
 
     def set(self, name: str, value: float, *, rank=None, **labels):
         """Set the gauge ``(name, labels)`` to ``value``."""

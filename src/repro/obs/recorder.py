@@ -56,8 +56,18 @@ class FlightRecorder:
     def record(self, rank: int, vtime: float, kind: str, name: str,
                **detail) -> None:
         """Append one event to ``rank``'s ring (evicting the oldest)."""
-        ev = FlightEvent(vtime, rank, kind, name,
-                         tuple(sorted(detail.items())))
+        self.append(rank, vtime, kind, name, tuple(sorted(detail.items())))
+
+    def append(self, rank: int, vtime: float, kind: str, name: str,
+               detail: tuple = ()) -> None:
+        """Fast-path append: ``detail`` is an already key-sorted tuple
+        of ``(key, value)`` pairs.
+
+        Per-message producers (``Engine.record`` / ``Engine.deliver``)
+        build the tuple literally in key order, skipping the kwargs
+        dict and the sort that :meth:`record` pays on every call.
+        """
+        ev = FlightEvent(vtime, rank, kind, name, detail)
         with self._lock:
             ring = self._rings.get(rank)
             if ring is None:

@@ -45,35 +45,71 @@ class TwoPhaseModel:
         """One aggregator per stripe, capped by the job size."""
         return max(1, min(nprocs, self.lustre.stripe_count))
 
+    def _round_times(self, round_bytes: float,
+                     nprocs: int) -> tuple[float, float]:
+        """(shuffle, write) time of one buffer round moving
+        ``round_bytes`` in total across all aggregators."""
+        nagg = self.naggregators(nprocs)
+        per_agg = round_bytes / nagg
+        shuffle = (per_agg / (self.net.bandwidth
+                              / self.net.contention_factor(nprocs))
+                   + nprocs / nagg * (self.net.latency
+                                      + 2 * self.net.msg_overhead))
+        write = (per_agg / (self.lustre.ost_bandwidth
+                            * self.lustre.slowest_ost_factor())
+                 + self.lustre.md_small_op)
+        return shuffle, write
+
+    def nrounds(self, total_bytes: int, nprocs: int) -> int:
+        """Buffer rounds: total bytes over ``naggregators * cb_buffer``."""
+        per_round = self.naggregators(nprocs) * self.cb_buffer
+        return max(1, math.ceil(total_bytes / per_round))
+
     def shuffle_time(self, total_bytes: int, nprocs: int) -> float:
-        """Phase 1: redistribute pieces to aggregators (alltoall-ish)."""
+        """Phase 1: redistribute pieces to aggregators (alltoall-ish).
+
+        Each aggregator ingests its share; every round pays per-peer
+        latency (one exchange with each non-aggregator per round).
+        """
         nagg = self.naggregators(nprocs)
         per_agg = total_bytes / nagg
-        # Each aggregator ingests its share; latency per incoming peer.
+        nrounds = self.nrounds(total_bytes, nprocs)
         return (per_agg / (self.net.bandwidth
                            / self.net.contention_factor(nprocs))
-                + nprocs / nagg * (self.net.latency
-                                   + 2 * self.net.msg_overhead))
+                + nrounds * nprocs / nagg * (self.net.latency
+                                             + 2 * self.net.msg_overhead))
 
     def write_time(self, total_bytes: int, nprocs: int) -> float:
         """Phase 2: aggregators stream stripe-aligned data to OSTs."""
         nagg = self.naggregators(nprocs)
         per_agg = total_bytes / nagg
-        nrounds = max(1, math.ceil(per_agg / self.cb_buffer))
         stream = per_agg / (self.lustre.ost_bandwidth
                             * self.lustre.slowest_ost_factor())
-        return stream + nrounds * self.lustre.md_small_op
+        return stream + self.nrounds(total_bytes, nprocs) * \
+            self.lustre.md_small_op
 
     def collective_write_time(self, total_bytes: int, nprocs: int) -> float:
-        """End-to-end two-phase time (rounds pipeline shuffle/write, so
-        the slower phase dominates with one extra round of the other)."""
-        ts = self.shuffle_time(total_bytes, nprocs)
-        tw = self.write_time(total_bytes, nprocs)
-        nagg = self.naggregators(nprocs)
-        per_round = nagg * self.cb_buffer
-        nrounds = max(1, math.ceil(total_bytes / per_round))
-        slow, fast = max(ts, tw), min(ts, tw)
-        return slow + fast / nrounds
+        """End-to-end two-phase time.
+
+        Rounds pipeline: round ``i``'s write overlaps round ``i+1``'s
+        shuffle, so each middle round costs the slower of the two
+        per-round phase times and only the first shuffle and last write
+        are exposed. Computed from the exact per-round schedule (the
+        last round moves only the residual bytes), which keeps the
+        total strictly increasing in ``total_bytes`` — amortizing
+        whole-phase totals over a discrete round count is not, because
+        a round-boundary crossing shrinks the amortized term faster
+        than the stream terms grow.
+        """
+        per_round = self.naggregators(nprocs) * self.cb_buffer
+        nrounds = self.nrounds(total_bytes, nprocs)
+        last_bytes = total_bytes - per_round * (nrounds - 1)
+        s_last, w_last = self._round_times(last_bytes, nprocs)
+        if nrounds == 1:
+            return s_last + w_last
+        s, w = self._round_times(per_round, nprocs)
+        return (s + (nrounds - 2) * max(s, w)
+                + max(w, s_last) + w_last)
 
     def independent_write_time(self, total_bytes: int, nprocs: int) -> float:
         """The non-collective comparison: every rank writes its own

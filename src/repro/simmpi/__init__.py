@@ -37,7 +37,14 @@ from repro.simmpi.netmodel import NetworkModel, payload_nbytes
 from repro.simmpi.message import VirtualPayload, Status, ANY_SOURCE, ANY_TAG
 from repro.simmpi.request import Request
 from repro.simmpi.comm import Comm, Intercomm
-from repro.simmpi.engine import Engine, TraceEvent, WorldResult, run_world
+from repro.simmpi.engine import (
+    Engine,
+    TraceEvent,
+    WAKE_ANY,
+    WorldResult,
+    run_world,
+)
+from repro.simmpi.mailbox import CommMailbox
 
 __all__ = [
     "SimMPIError",
@@ -55,6 +62,8 @@ __all__ = [
     "Intercomm",
     "Engine",
     "TraceEvent",
+    "WAKE_ANY",
     "WorldResult",
     "run_world",
+    "CommMailbox",
 ]

@@ -164,42 +164,21 @@ class Comm:
         self.send(payload, dest, tag, nbytes=nbytes)
         return Request(self, "send")
 
-    @staticmethod
-    def _purge_consumed(proc, box) -> None:
-        """Drop messages whose twin (original or injected duplicate) was
-        already consumed; must hold ``proc.lock``."""
-        if not proc.consumed or not box:
-            return
-        live = [m for m in box
-                if m.seq not in proc.consumed
-                and (m.dup_of is None or m.dup_of not in proc.consumed)]
-        if len(live) != len(box):
-            box[:] = live
-
     def _pop_match(self, proc, source: int, tag: int):
         """Pop the best matching message while holding ``proc.lock``.
 
-        Injected duplicates are deduped here: the original always sorts
-        first (smaller seq, no later arrival), and consuming either twin
-        records its seq so the other is purged before it can match.
+        Matching is an indexed bucket-head lookup (see
+        :class:`~repro.simmpi.mailbox.CommMailbox`); non-matching
+        queued messages are never touched. Injected duplicates are
+        deduped here: consuming either twin records its seq so the
+        other is purged before it can match.
         """
-        box = proc.mailbox.get(self.comm_id)
-        if not box:
+        mbox = proc.mailbox.get(self.comm_id)
+        if not mbox:
             return None
-        self._purge_consumed(proc, box)
-        best_i = -1
-        for i, m in enumerate(box):
-            if not m.matches(source, tag):
-                continue
-            if best_i < 0:
-                best_i = i
-            else:
-                b = box[best_i]
-                if (m.arrival, m.src, m.seq) < (b.arrival, b.src, b.seq):
-                    best_i = i
-        if best_i < 0:
+        m = mbox.pop_match(source, tag, proc.consumed)
+        if m is None:
             return None
-        m = box.pop(best_i)
         if m.has_dup:
             proc.consumed.add(m.seq)
         if m.dup_of is not None:
@@ -242,20 +221,29 @@ class Comm:
         self.engine.maybe_crash()
         t_start = proc.clock
         with proc.cond:
-            msg_holder = []
+            msg = self._pop_match(proc, source, tag)
+            if msg is None:
+                msg_holder = []
 
-            def ready():
-                m = self._pop_match(proc, source, tag)
-                if m is not None:
-                    msg_holder.append(m)
-                    return True
-                return False
+                def ready():
+                    m = self._pop_match(proc, source, tag)
+                    if m is not None:
+                        msg_holder.append(m)
+                        return True
+                    return False
 
-            self.engine.wait_on(
-                proc.cond, ready,
-                f"message (comm {self.comm_id}, source {source}, tag {tag})",
-            )
-            msg = msg_holder[0]
+                # Register what we are blocked on so deliveries that
+                # cannot match do not wake this rank.
+                proc.wait_spec = (self.comm_id, source, tag)
+                try:
+                    self.engine.wait_on(
+                        proc.cond, ready,
+                        f"message (comm {self.comm_id}, source {source}, "
+                        f"tag {tag})",
+                    )
+                finally:
+                    proc.wait_spec = None
+                msg = msg_holder[0]
         src_world = self._finish_recv(proc, msg, t_start)
         self.engine.maybe_crash()
         self.engine.record(proc.clock, "recv", proc.rank,
@@ -290,27 +278,29 @@ class Comm:
         proc = self._proc()
         with proc.cond:
             def find():
-                box = proc.mailbox.get(self.comm_id)
-                if not box:
+                mbox = proc.mailbox.get(self.comm_id)
+                if not mbox:
                     return None
-                self._purge_consumed(proc, box)
-                cands = [m for m in box if m.matches(source, tag)]
-                if not cands:
-                    return None
-                return min(cands, key=lambda m: (m.arrival, m.src, m.seq))
+                return mbox.peek_match(source, tag, proc.consumed)
 
             if block:
-                holder = []
+                m = find()
+                if m is None:
+                    holder = []
 
-                def ready():
-                    m = find()
-                    if m is not None:
-                        holder.append(m)
-                        return True
-                    return False
+                    def ready():
+                        got = find()
+                        if got is not None:
+                            holder.append(got)
+                            return True
+                        return False
 
-                self.engine.wait_on(proc.cond, ready, "probe")
-                m = holder[0]
+                    proc.wait_spec = (self.comm_id, source, tag)
+                    try:
+                        self.engine.wait_on(proc.cond, ready, "probe")
+                    finally:
+                        proc.wait_spec = None
+                    m = holder[0]
             else:
                 m = find()
                 if m is None:

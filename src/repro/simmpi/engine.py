@@ -3,14 +3,20 @@
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.obs import ObsContext
 from repro.simmpi.errors import DeadlockError, RankFailure, WorkerAborted
-from repro.simmpi.message import Message
+from repro.simmpi.mailbox import CommMailbox
+from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message
 from repro.simmpi.netmodel import NetworkModel
 
 _tls = threading.local()
+
+#: Wait-spec sentinel: wake the rank on *any* arriving message (used by
+#: serve loops whose wake predicate the engine cannot inspect).
+WAKE_ANY = object()
 
 
 def current_world_rank() -> int:
@@ -24,18 +30,24 @@ def current_world_rank() -> int:
 class Proc:
     """Per-rank state: virtual clock and mailbox. Internal."""
 
-    __slots__ = ("rank", "clock", "lock", "cond", "mailbox", "consumed")
+    __slots__ = ("rank", "clock", "lock", "cond", "mailbox", "consumed",
+                 "wait_spec")
 
     def __init__(self, rank: int):
         self.rank = rank
         self.clock = 0.0
         self.lock = threading.Lock()
         self.cond = threading.Condition(self.lock)
-        # comm_id -> list[Message]; scanned for (source, tag) matches
-        self.mailbox: dict[int, list[Message]] = {}
+        # comm_id -> CommMailbox, indexed by (src, tag)
+        self.mailbox: dict[int, CommMailbox] = {}
         # seqs of consumed messages that have an injected duplicate in
         # flight; lets the matcher drop the copy (dedup).
         self.consumed: set[int] = set()
+        # What this rank is blocked on, or None when it is not blocked
+        # in a mailbox wait: WAKE_ANY, or a (comm_id, source, tag)
+        # triple. Written and read under ``lock`` only; deliver uses it
+        # to wake the rank only for messages it actually waits for.
+        self.wait_spec = None
 
 
 @dataclass(frozen=True)
@@ -100,7 +112,10 @@ class Engine:
         deterministic faults (delays, duplicates, rank crashes).
     """
 
-    _POLL = 0.05  # condition-wait slice, seconds of real time
+    #: Wake-and-recheck slice for waits whose predicate depends on
+    #: global state (serve loops watching the machine's virtual clock);
+    #: mailbox waits are purely event-driven and never poll.
+    _POLL = 0.05
 
     def __init__(self, nprocs: int, model: NetworkModel | None = None,
                  timeout: float = 60.0, trace: bool = False,
@@ -118,6 +133,10 @@ class Engine:
         self.obs = obs if obs is not None else ObsContext()
         self.trace_events: list[TraceEvent] = []
         self._trace_lock = threading.Lock()
+        # (kind, rank) -> (count handle, bytes handle): pre-resolved
+        # bound counters so the per-event hot path never rebuilds
+        # metric keys (benign race: duplicate handles bind one slot).
+        self._evt_counters: dict[tuple, tuple] = {}
         self.procs = [Proc(i) for i in range(nprocs)]
         self.failure: BaseException | None = None
         self._failed = threading.Event()
@@ -168,13 +187,23 @@ class Engine:
 
         Always feeds the flight recorder and the byte/message counters
         in :attr:`obs`; the full :class:`TraceEvent` list is only
-        appended when tracing is enabled.
+        appended when tracing is enabled. Counters are pre-resolved
+        bound handles and the flight detail tuple is built in key
+        order, so this path does no metric-key or sort work.
         """
-        self.obs.flight.record(rank, vtime, kind, label or kind,
-                               peer=peer, tag=tag, nbytes=nbytes)
-        self.obs.metrics.inc(f"simmpi.{kind}.count", 1, rank=rank)
+        handles = self._evt_counters.get((kind, rank))
+        if handles is None:
+            metrics = self.obs.metrics
+            handles = (metrics.counter(f"simmpi.{kind}.count", rank=rank),
+                       metrics.counter(f"simmpi.{kind}.bytes", rank=rank))
+            self._evt_counters[(kind, rank)] = handles
+        handles[0].inc(1)
         if nbytes:
-            self.obs.metrics.inc(f"simmpi.{kind}.bytes", nbytes, rank=rank)
+            handles[1].inc(nbytes)
+        self.obs.flight.append(
+            rank, vtime, kind, label or kind,
+            (("nbytes", nbytes), ("peer", peer), ("tag", tag)),
+        )
         if not self.trace:
             return
         with self._trace_lock:
@@ -191,33 +220,54 @@ class Engine:
     # -- failure handling ---------------------------------------------------
 
     def fail(self, exc: BaseException) -> None:
-        """Record a failure and wake every sleeper."""
+        """Record a failure and wake every sleeper.
+
+        Mailbox waits are event-driven (no polling), so every sleeper
+        -- per-rank mailbox conditions *and* collective rendezvous
+        conditions -- must be notified explicitly.
+        """
         if self.failure is None:
             self.failure = exc
         self._failed.set()
-        # Wake all sleepers so they notice the failure.
         for p in self.procs:
             with p.cond:
                 p.cond.notify_all()
+        with self._comm_lock:
+            ctxs = list(self._coll_ctxs.values())
+        for ctx in ctxs:
+            with ctx.cond:
+                ctx.cond.notify_all()
 
     def check_failed(self) -> None:
         """Raise WorkerAborted if any rank failed."""
         if self._failed.is_set():
             raise WorkerAborted("another rank failed") from self.failure
 
-    def wait_on(self, cond: threading.Condition, predicate, what: str):
-        """Wait (holding ``cond``) until ``predicate()``; honor timeout/failure."""
-        waited = 0.0
+    def wait_on(self, cond: threading.Condition, predicate, what: str,
+                poll: float | None = None):
+        """Wait (holding ``cond``) until ``predicate()``; honor timeout/failure.
+
+        The deadlock timeout is a single ``time.monotonic()`` deadline:
+        frequently-notified waiters consume only the real time that
+        actually passed, not a fixed slice per wakeup. With ``poll=None``
+        (the default) the wait is purely event-driven -- whoever makes
+        the predicate true must notify ``cond`` (message delivery,
+        collective completion, engine failure all do). Waits whose
+        predicate can turn true without a notification (serve loops
+        watching global virtual time) pass a ``poll`` slice to recheck
+        periodically.
+        """
+        deadline = time.monotonic() + self.timeout
         while not predicate():
             if self._failed.is_set():
                 raise WorkerAborted("another rank failed") from self.failure
-            if waited >= self.timeout:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise DeadlockError(
                     f"rank {current_world_rank()} timed out after "
                     f"{self.timeout:.0f}s real time waiting for {what}"
                 )
-            cond.wait(self._POLL)
-            waited += self._POLL
+            cond.wait(remaining if poll is None else min(poll, remaining))
 
     # -- fault injection -----------------------------------------------------
 
@@ -284,16 +334,31 @@ class Engine:
             dup = self._inject_message_faults(msg)
         dst = self.procs[msg.dst_world]
         with dst.cond:
-            box = dst.mailbox.setdefault(msg.comm_id, [])
-            box.append(msg)
+            mbox = dst.mailbox.get(msg.comm_id)
+            if mbox is None:
+                mbox = dst.mailbox[msg.comm_id] = CommMailbox()
+            mbox.push(msg)
             if dup is not None:
-                box.append(dup)
-            dst.cond.notify_all()
+                mbox.push(dup)
+            # Targeted wakeup: only notify a rank that is blocked on a
+            # wait this message (or its injected twin -- same envelope)
+            # can satisfy; a rank waiting on a different (comm, source,
+            # tag) or not waiting at all is left alone.
+            spec = dst.wait_spec
+            if spec is not None and (
+                spec is WAKE_ANY
+                or (spec[0] == msg.comm_id
+                    and spec[1] in (ANY_SOURCE, msg.src)
+                    and spec[2] in (ANY_TAG, msg.tag))
+            ):
+                dst.cond.notify_all()
         # Delivery marker on the *destination* ring (written from the
         # sender's thread; FlightRecorder serializes appends).
-        self.obs.flight.record(msg.dst_world, msg.arrival, "deliver",
-                               f"tag {msg.tag}", src=msg.src_world,
-                               msg_id=msg.msg_id, nbytes=msg.nbytes)
+        self.obs.flight.append(
+            msg.dst_world, msg.arrival, "deliver", f"tag {msg.tag}",
+            (("msg_id", msg.msg_id), ("nbytes", msg.nbytes),
+             ("src", msg.src_world)),
+        )
         with self._stats_lock:
             self.n_messages += 1
             self.n_bytes += msg.nbytes
@@ -328,9 +393,11 @@ class Engine:
         ]
         for t in threads:
             t.start()
+        # One shared monotonic deadline for the whole shutdown: the old
+        # per-thread join bound let total wait grow to nprocs x bound.
+        deadline = time.monotonic() + self.timeout * 10
         for t in threads:
-            # Join with a generous bound so a hung run eventually errors.
-            t.join(self.timeout * 10)
+            t.join(max(0.0, deadline - time.monotonic()))
             if t.is_alive() and not self._failed.is_set():
                 self.fail(DeadlockError(f"thread {t.name} did not finish"))
         if self.failure is not None:

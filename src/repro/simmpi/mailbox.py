@@ -1,0 +1,162 @@
+"""Indexed per-rank mailboxes with constant-time message matching.
+
+The engine used to keep one flat ``list[Message]`` per communicator and
+rescan it linearly on every receive -- O(messages²) when a rank's
+mailbox backs up (many-to-one patterns, RPC servers). A
+:class:`CommMailbox` instead buckets messages by ``(src, tag)``:
+
+- each bucket is a heap ordered by ``(arrival, seq)``, so the bucket
+  head is always its best candidate;
+- a fully-qualified receive ``(source, tag)`` inspects exactly one
+  bucket head;
+- a wildcard receive (``ANY_SOURCE`` and/or ``ANY_TAG``) takes the min
+  over the *candidate bucket heads* -- found through small ``by_src`` /
+  ``by_tag`` key indexes -- never touching non-matching messages.
+
+Matching order is identical to the old linear scan: the winner is the
+queued matching message minimising ``(arrival, src, seq)``. Within one
+bucket ``src`` is constant, so the per-bucket ``(arrival, seq)`` heap
+order and the cross-bucket ``(arrival, src, seq)`` comparison reproduce
+the global minimum exactly (the existing simmpi test suite is the
+oracle for this).
+
+Fault-injected duplicate handling is preserved: messages whose twin
+(original or injected copy) was already consumed are purged lazily when
+they surface at a bucket head, using the per-rank ``consumed`` seq set.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message
+
+
+class CommMailbox:
+    """Messages of one communicator queued at one rank. Internal.
+
+    All methods must be called holding the owning ``Proc``'s lock (the
+    same discipline the old flat lists had).
+
+    ``examined`` counts bucket heads inspected by matching calls; the
+    perf smoke tests assert it does not scale with unrelated queued
+    messages.
+    """
+
+    __slots__ = ("_buckets", "_by_src", "_by_tag", "_count", "examined")
+
+    def __init__(self):
+        # (src, tag) -> heap of (arrival, seq, Message)
+        self._buckets: dict[tuple[int, int], list] = {}
+        # src -> set of live (src, tag) keys; tag -> same, for wildcards
+        self._by_src: dict[int, set] = {}
+        self._by_tag: dict[int, set] = {}
+        self._count = 0
+        self.examined = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push(self, msg: Message) -> None:
+        """Enqueue ``msg`` into its ``(src, tag)`` bucket."""
+        key = (msg.src, msg.tag)
+        heap = self._buckets.get(key)
+        if heap is None:
+            heap = self._buckets[key] = []
+            self._by_src.setdefault(msg.src, set()).add(key)
+            self._by_tag.setdefault(msg.tag, set()).add(key)
+        heapq.heappush(heap, (msg.arrival, msg.seq, msg))
+        self._count += 1
+
+    # -- internals -----------------------------------------------------------
+
+    def _drop(self, key) -> None:
+        """Remove an emptied bucket from every index."""
+        del self._buckets[key]
+        src, tag = key
+        peers = self._by_src[src]
+        peers.discard(key)
+        if not peers:
+            del self._by_src[src]
+        tags = self._by_tag[tag]
+        tags.discard(key)
+        if not tags:
+            del self._by_tag[tag]
+
+    def _candidate_keys(self, source: int, tag: int):
+        """Bucket keys that could hold a ``(source, tag)`` match."""
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            key = (source, tag)
+            return (key,) if key in self._buckets else ()
+        if source != ANY_SOURCE:
+            return tuple(self._by_src.get(source, ()))
+        if tag != ANY_TAG:
+            return tuple(self._by_tag.get(tag, ()))
+        return tuple(self._buckets)
+
+    def _live_head(self, key, consumed):
+        """Head entry of ``key``'s bucket after purging dead twins.
+
+        A message is dead when its own seq, or the seq of the original
+        it duplicates, is in ``consumed`` -- its twin was already
+        received, so protocols above must never see it.
+        """
+        heap = self._buckets.get(key)
+        if heap is None:
+            return None
+        while heap:
+            entry = heap[0]
+            msg = entry[2]
+            if (msg.seq in consumed
+                    or (msg.dup_of is not None and msg.dup_of in consumed)):
+                heapq.heappop(heap)
+                self._count -= 1
+                continue
+            return entry
+        self._drop(key)
+        return None
+
+    def _best_key(self, source: int, tag: int, consumed):
+        """Bucket key holding the overall best match, or ``None``."""
+        best_key = None
+        best_rank = None
+        for key in self._candidate_keys(source, tag):
+            head = self._live_head(key, consumed)
+            if head is None:
+                continue
+            self.examined += 1
+            arrival, seq, msg = head
+            rank = (arrival, msg.src, seq)
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_key = key
+        return best_key
+
+    # -- matching ------------------------------------------------------------
+
+    def pop_match(self, source: int, tag: int, consumed) -> Message | None:
+        """Dequeue the best queued match for ``(source, tag)``."""
+        key = self._best_key(source, tag, consumed)
+        if key is None:
+            return None
+        heap = self._buckets[key]
+        _, _, msg = heapq.heappop(heap)
+        self._count -= 1
+        if not heap:
+            self._drop(key)
+        return msg
+
+    def peek_match(self, source: int, tag: int, consumed) -> Message | None:
+        """Best queued match without consuming it (probe)."""
+        key = self._best_key(source, tag, consumed)
+        if key is None:
+            return None
+        return self._buckets[key][0][2]
+
+    def has_live(self, consumed) -> bool:
+        """True when any non-dead message is queued (serve-loop wake
+        predicate); purges dead bucket heads as a side effect."""
+        for key in tuple(self._buckets):
+            if self._live_head(key, consumed) is not None:
+                return True
+        return False

@@ -212,6 +212,39 @@ class TestTranslateAndSimplify:
         assert isinstance(s.simplify(), NoneSelection)
 
 
+class TestSameElements:
+    def test_separable_fast_path_matches_point_path(self):
+        """A hyperslab and the point selection enumerating the same
+        cells agree under both comparison routes (separable/separable
+        vs separable/points)."""
+        hs = HyperslabSelection((6, 6), (1, 2), (2, 2), stride=(2, 3))
+        pts = PointSelection(
+            (6, 6), [(i, j) for i in (1, 3) for j in (2, 5)]
+        )
+        assert hs.same_elements(pts)
+        assert pts.same_elements(hs)
+
+    def test_separable_mismatch(self):
+        a = HyperslabSelection((8,), 0, 4)
+        b = HyperslabSelection((8,), 1, 4)
+        assert not a.same_elements(b)
+        assert a.same_elements(HyperslabSelection((8,), 0, 4, stride=1))
+
+    def test_point_order_and_duplicates_ignored(self):
+        a = PointSelection((5, 5), [(0, 1), (4, 4), (2, 3)])
+        b = PointSelection((5, 5), [(2, 3), (0, 1), (4, 4)])
+        assert a.same_elements(b)
+        c = PointSelection((5, 5), [(0, 1), (0, 1), (2, 3)])
+        assert not a.same_elements(c)  # npoints differ
+
+    def test_empty_selections_equal(self):
+        assert NoneSelection((3, 3)).same_elements(
+            IndexSetSelection((3, 3), [[1], []]))
+
+    def test_shape_mismatch_is_false(self):
+        assert not AllSelection((4,)).same_elements(AllSelection((5,)))
+
+
 class TestSpecs:
     def test_bind_none_gives_all(self):
         s = bind_selection(None, (3, 3))

@@ -62,6 +62,40 @@ class TestCounters:
             reg.observe("x", 3)
 
 
+class TestBoundCounters:
+    def test_bound_inc_lands_in_same_slot_as_plain_inc(self):
+        reg = MetricsRegistry()
+        reg.inc("msgs", 2, rank=3, kind="send")
+        handle = reg.counter("msgs", rank=3, kind="send")
+        handle.inc()
+        handle.inc(5)
+        v = reg.snapshot().get("msgs", rank=3, kind="send")
+        assert v.total == 8 and v.count == 3
+
+    def test_handles_to_different_labels_stay_separate(self):
+        reg = MetricsRegistry()
+        a = reg.counter("msgs", rank=0)
+        b = reg.counter("msgs", rank=1)
+        a.inc(10)
+        b.inc(20)
+        snap = reg.snapshot()
+        assert snap.get("msgs", rank=0).total == 10
+        assert snap.get("msgs", rank=1).total == 20
+
+    def test_bound_counter_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.set("g", 1)
+        with pytest.raises(TypeError):
+            reg.counter("g")
+
+    def test_merge_semantics_unchanged(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n", rank=0).inc(3)
+        b.inc("n", 4, rank=0)
+        merged = a.snapshot().merge(b.snapshot())
+        assert merged.get("n", rank=0).total == 7
+
+
 class TestGauges:
     def test_last_write_wins(self):
         reg = MetricsRegistry()

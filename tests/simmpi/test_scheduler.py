@@ -1,0 +1,332 @@
+"""Scheduler semantics: wildcard ordering, targeted wakeups, determinism.
+
+The engine's hot path was rebuilt around indexed mailboxes and
+event-driven, filtered wakeups; these tests pin down the semantics the
+rebuild must preserve -- wildcard matching order, wakeup correctness
+under fault-injected duplicates and delays, and run-to-run determinism
+-- plus a perf smoke test asserting that receive matching does no work
+proportional to unrelated queued traffic.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, MessageFaultRule
+from repro.simmpi import ANY_SOURCE, ANY_TAG, Engine, run_world
+
+
+def _mailbox_examined(engine: Engine) -> int:
+    """Total bucket heads inspected by matching across all ranks."""
+    return sum(mbox.examined
+               for p in engine.procs
+               for mbox in p.mailbox.values())
+
+
+class TestWildcardOrdering:
+    def test_any_source_follows_arrival_order(self):
+        """A wildcard receive takes the queued message with the
+        earliest (arrival, src, seq), not FIFO-of-delivery."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                got = [comm.recv(source=ANY_SOURCE, tag=0)[0]
+                       for _ in range(comm.size - 1)]
+                # Rank k computed (size - k) ms before sending, so
+                # arrival order is the *reverse* of rank order.
+                assert got == sorted(
+                    got, key=lambda payload: -payload
+                )
+                return got
+            comm.compute((comm.size - comm.rank) * 1e-3)
+            comm.send(comm.rank, dest=0, tag=0)
+            comm.barrier()
+
+        run_world(5, main)
+
+    def test_any_tag_prefers_earlier_arrival(self):
+        def main(comm):
+            if comm.rank == 1:
+                # Big payload first: its wire time makes it arrive
+                # *after* the small message sent later.
+                comm.send(bytes(2_000_000), dest=0, tag=7)
+                comm.send(b"x", dest=0, tag=8)
+                comm.barrier()
+            elif comm.rank == 0:
+                comm.barrier()
+                _, st1 = comm.recv(source=1, tag=ANY_TAG)
+                _, st2 = comm.recv(source=1, tag=ANY_TAG)
+                assert (st1.tag, st2.tag) == (8, 7)
+            else:
+                comm.barrier()
+
+        run_world(2, main)
+
+    def test_arrival_tie_breaks_by_source_rank(self):
+        """Equal arrivals resolve by the lower sender rank."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                sources = [comm.recv()[1].source
+                           for _ in range(comm.size - 1)]
+                assert sources == sorted(sources)
+            else:
+                # Identical payloads and clocks: identical arrivals.
+                comm.send(b"tie", dest=0)
+                comm.barrier()
+
+        run_world(4, main)
+
+
+class TestTargetedWakeups:
+    def test_blocked_recv_survives_nonmatching_flood(self):
+        """A rank waiting on a specific (source, tag) must still be
+        woken by its one matching message arriving after a flood of
+        non-matching traffic -- with a timeout short enough that a
+        missed wakeup would be a DeadlockError."""
+
+        def main(comm):
+            if comm.rank == 0:
+                # Blocks immediately; the match arrives last.
+                payload, st = comm.recv(source=comm.size - 1, tag=99)
+                assert payload == "the-one" and st.tag == 99
+                for src in range(1, comm.size - 1):
+                    for k in range(10):
+                        comm.recv(source=src, tag=0)
+                return True
+            if comm.rank < comm.size - 1:
+                for k in range(10):
+                    comm.send((comm.rank, k), dest=0, tag=0)
+            else:
+                comm.compute(1e-3)  # send the match last in real time too
+                comm.send("the-one", dest=0, tag=99)
+            return True
+
+        res = run_world(6, main, timeout=10.0)
+        assert all(res.returns)
+
+    def test_wildcard_waiter_woken_by_any_match(self):
+        def main(comm):
+            if comm.rank == 0:
+                payload, _ = comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                assert payload == "hello"
+            elif comm.rank == 1:
+                import time
+
+                time.sleep(0.05)  # ensure rank 0 is already blocked
+                comm.send("hello", dest=0, tag=3)
+
+        run_world(2, main, timeout=10.0)
+
+    def test_probe_woken_while_blocked(self):
+        def main(comm):
+            if comm.rank == 0:
+                st = comm.probe(source=1, tag=4)
+                assert (st.source, st.tag) == (1, 4)
+                payload, _ = comm.recv(source=1, tag=4)
+                assert payload == "probed"
+            else:
+                import time
+
+                time.sleep(0.05)
+                comm.send("probed", dest=0, tag=4)
+
+        run_world(2, main, timeout=10.0)
+
+    def test_wakeups_correct_under_duplicates_and_delays(self):
+        """Fault-injected duplicates and delays reorder and clone
+        traffic; matching must still consume each logical message
+        exactly once and never hang on a duplicate."""
+        rules = [MessageFaultRule(p_delay=0.5, max_delay=5e-4,
+                                  p_duplicate=0.5)]
+
+        def main(comm):
+            if comm.rank == 0:
+                seen = []
+                for _ in range(3 * (comm.size - 1)):
+                    payload, _ = comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                    seen.append(payload)
+                assert sorted(seen) == sorted(
+                    (src, k) for src in range(1, comm.size)
+                    for k in range(3)
+                )
+                return len(seen)
+            for k in range(3):
+                comm.send((comm.rank, k), dest=0, tag=k)
+            return 0
+
+        res = run_world(4, main, timeout=10.0,
+                        faults=FaultPlan(11, messages=rules))
+        assert res.returns[0] == 9
+
+    def test_specific_recv_with_duplicates(self):
+        rules = [MessageFaultRule(p_duplicate=1.0)]
+
+        def main(comm):
+            if comm.rank == 0:
+                for src in range(comm.size - 1, 0, -1):
+                    payload, _ = comm.recv(source=src, tag=src)
+                    assert payload == src * 10
+                # Duplicates were deduped: nothing is left to probe.
+                assert comm.probe(block=False) is None
+            else:
+                comm.send(comm.rank * 10, dest=0, tag=comm.rank)
+
+        run_world(4, main, timeout=10.0,
+                  faults=FaultPlan(5, messages=rules))
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        """Same program, same seed => bit-identical virtual results,
+        independent of thread scheduling."""
+
+        def main(comm):
+            me = comm.rank
+            comm.compute(1e-4 * (me + 1))
+            right = (me + 1) % comm.size
+            left = (me - 1) % comm.size
+            comm.send(me, dest=right, tag=1)
+            got, _ = comm.recv(source=left, tag=1)
+            total = comm.allreduce(got)
+            comm.barrier()
+            return total
+
+        results = [run_world(8, main) for _ in range(3)]
+        first = results[0]
+        for res in results[1:]:
+            assert res.vtime == first.vtime
+            assert res.clocks == first.clocks
+            assert res.messages == first.messages
+            assert res.bytes_sent == first.bytes_sent
+            assert res.returns == first.returns
+
+    def test_faulty_runs_deterministic(self):
+        rules = [MessageFaultRule(p_delay=0.4, max_delay=1e-3,
+                                  p_duplicate=0.3)]
+
+        def main(comm):
+            # Rendezvous before receiving: with every message already
+            # queued, wildcard matching order -- and hence the clock
+            # trajectory -- is a pure function of the fault plan.
+            if comm.rank == 0:
+                comm.barrier()
+                return [comm.recv()[0] for _ in range(comm.size - 1)]
+            comm.send(comm.rank, dest=0, tag=comm.rank % 2)
+            comm.barrier()
+            return None
+
+        runs = [
+            run_world(5, main, faults=FaultPlan(21, messages=rules),
+                      timeout=10.0)
+            for _ in range(2)
+        ]
+        assert runs[0].vtime == runs[1].vtime
+        assert runs[0].clocks == runs[1].clocks
+        assert runs[0].returns[0] == runs[1].returns[0]
+
+
+class TestMatchingCost:
+    """Perf smoke: matching work must not scale with unrelated traffic."""
+
+    @staticmethod
+    def _run_flood(n_unrelated: int) -> int:
+        """Rank 0 receives 10 (source=1, tag=5) messages while rank 2
+        floods it with ``n_unrelated`` messages it never matches.
+        Returns the bucket heads examined by rank 0's matching."""
+        eng = Engine(3, timeout=30.0)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                for _ in range(10):
+                    comm.recv(source=1, tag=5)
+                return True
+            if comm.rank == 1:
+                for k in range(10):
+                    comm.send(k, dest=0, tag=5)
+            else:
+                for k in range(n_unrelated):
+                    comm.send(k, dest=0, tag=1000 + (k % 16))
+            comm.barrier()
+            return True
+
+        eng.run(main)
+        return _mailbox_examined(eng)
+
+    def test_examined_heads_independent_of_unrelated_queue(self):
+        small = self._run_flood(20)
+        large = self._run_flood(2000)
+        # Fully-qualified matching inspects exactly one bucket head per
+        # attempt regardless of how much unrelated traffic is queued.
+        assert large <= small + 16, (small, large)
+
+    def test_wildcard_scales_with_buckets_not_messages(self):
+        """ANY_SOURCE matching may inspect one head per candidate
+        bucket, but never one per queued message."""
+        n_unrelated = 3000
+        eng = Engine(3, timeout=30.0)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                for _ in range(10):
+                    comm.recv(source=ANY_SOURCE, tag=5)
+                return True
+            if comm.rank == 1:
+                for k in range(10):
+                    comm.send(k, dest=0, tag=5)
+            else:
+                for k in range(n_unrelated):
+                    comm.send(k, dest=0, tag=1000 + (k % 16))
+            comm.barrier()
+            return True
+
+        eng.run(main)
+        examined = _mailbox_examined(eng)
+        # 10 matches x (<= #live buckets, bounded by 2 senders x 17
+        # tags) plus barrier bookkeeping -- far below one per message.
+        assert examined < n_unrelated / 2, examined
+
+
+class TestTimeoutAccounting:
+    def test_frequent_notifications_do_not_burn_timeout(self):
+        """Wakeups no longer charge a fixed slice each: a waiter that
+        is notified constantly survives until its real deadline."""
+        import threading
+        import time as _time
+
+        eng = Engine(2, timeout=2.0)
+
+        def main(comm):
+            if comm.rank == 0:
+                t0 = _time.monotonic()
+                # Rank 1 sends 50 non-matching messages over ~0.5s of
+                # real time; each wakes nothing (targeted wakeups), and
+                # the final matching message must arrive well within
+                # the 2s budget -- under slice accounting 50 wakeups
+                # would already have consumed 2.5s of budget.
+                payload, _ = comm.recv(source=1, tag=9)
+                assert payload == "done"
+                assert _time.monotonic() - t0 < 2.0
+                for _ in range(50):
+                    comm.recv(source=1, tag=0)
+                return True
+            for _ in range(50):
+                comm.send("noise", dest=0, tag=0)
+                _time.sleep(0.01)
+            comm.send("done", dest=0, tag=9)
+            return True
+
+        res = eng.run(main)
+        assert all(res.returns)
+
+    def test_deadlock_still_detected(self):
+        from repro.simmpi import DeadlockError
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.recv(source=1)  # never sent
+
+        with pytest.raises(DeadlockError):
+            run_world(2, main, timeout=0.4)
