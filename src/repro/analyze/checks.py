@@ -1,0 +1,67 @@
+"""Collective-mismatch and message-leak checks over the causal trace.
+
+Both are protocol-hygiene invariants the simulator itself does not
+enforce:
+
+- the collective rendezvous is generation-based, so ranks calling
+  *different* collectives on the same communicator still complete the
+  rendezvous -- with silently corrupted semantics. Every
+  :class:`~repro.obs.causal.CollectiveRecord` carries the per-rank
+  entered operation; :func:`check_collectives` flags records where
+  they differ.
+- a buffered send completes locally whether or not anyone ever
+  receives it, so a mismatched tag or a forgotten receive leaks the
+  message without any error. :func:`check_leaks` reports every entry
+  of the pending-send table never satisfied by a matching receive.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analyze.finding import (
+    COLLECTIVE_MISMATCH,
+    Finding,
+    MESSAGE_LEAK,
+    msg_label,
+)
+
+
+def check_collectives(obs: Any) -> list[Finding]:
+    """Flag collectives whose participants entered different ops."""
+    findings: list[Finding] = []
+    for rec in obs.causal.collectives():
+        if not rec.kinds or len(set(rec.kinds.values())) <= 1:
+            continue
+        by_kind: dict[str, list[int]] = {}
+        for rank in sorted(rec.kinds):
+            by_kind.setdefault(rec.kinds[rank], []).append(rank)
+        findings.append(Finding(
+            COLLECTIVE_MISMATCH, min(rec.kinds),
+            f"collective #{rec.coll_id} on comm {rec.comm_id} completed "
+            "with mismatched operations: "
+            + ", ".join(f"{k} on ranks {r}"
+                        for k, r in sorted(by_kind.items())),
+            {"coll_id": rec.coll_id, "comm_id": rec.comm_id,
+             "kinds": dict(sorted(rec.kinds.items()))},
+        ))
+    return findings
+
+
+def check_leaks(obs: Any) -> list[Finding]:
+    """Report posted messages never matched by any receive."""
+    consumed = obs.causal.consumed_ids()
+    findings: list[Finding] = []
+    for p in obs.causal.posts():
+        if p.msg_id in consumed:
+            continue
+        findings.append(Finding(
+            MESSAGE_LEAK, p.src,
+            f"message {msg_label(p.msg_id)} (rank {p.src} -> rank {p.dst}, comm "
+            f"{p.comm_id}, tag {p.tag}, {p.nbytes} B, posted at "
+            f"{p.t_post:.9f}) was never received",
+            {"msg_id": p.msg_id, "src": p.src, "dst": p.dst,
+             "comm_id": p.comm_id, "tag": p.tag, "nbytes": p.nbytes,
+             "t_post": p.t_post, "t_arrival": p.t_arrival},
+        ))
+    return findings

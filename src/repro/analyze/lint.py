@@ -1,0 +1,326 @@
+"""Static lint for virtual-time code (AST-based, zero dependencies).
+
+The simulator's whole value is that time is *virtual*: every duration
+comes from the cost model and every schedule decision from virtual
+arrival order. The bugs that silently break that property follow
+recurring shapes, each of which is mechanically detectable:
+
+========  ==========================================================
+ANL001    Wall-clock call (``time.time``, ``time.monotonic``,
+          ``time.perf_counter``, ``time.sleep``, ``datetime.now``,
+          ...) in virtual-time code. Real time must only appear in
+          the engine's watchdog and in explicitly wall-clock
+          harnesses.
+ANL002    An ``isend``/``irecv`` result that never reaches ``wait``
+          or ``test`` (dropped or forgotten request objects make the
+          nonblocking API lie about completion).
+ANL003    Raw ``threading`` coordination primitives (``Thread``,
+          ``Condition``, ``Event``, ``Semaphore``, ``Barrier``,
+          ``Timer``) outside the simmpi engine. Plain ``Lock`` /
+          ``RLock`` guards for shared state are fine; *coordination*
+          belongs to the engine, where it is accounted in virtual
+          time.
+ANL004    Float equality (``==`` / ``!=``) on virtual clocks
+          (``clock`` / ``vtime`` names). Clock arithmetic
+          accumulates rounding; compare with a tolerance.
+========  ==========================================================
+
+Suppression: a trailing ``# noqa: ANL00X`` (or bare ``# noqa``)
+silences the line; :data:`DEFAULT_ALLOWLIST` silences whole files
+that are legitimately about real time or engine internals.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+#: Rule code -> one-line description (the lint rule table).
+RULES = {
+    "ANL001": "wall-clock call in virtual-time code",
+    "ANL002": "isend/irecv result never reaches wait/test",
+    "ANL003": "raw threading primitive outside simmpi.engine",
+    "ANL004": "float equality on virtual clocks",
+}
+
+#: Dotted call targets that read or spend real time.
+_WALLCLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.thread_time", "time.sleep",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: Dotted names of threading coordination primitives (locks excluded).
+_THREAD_PRIMS = {
+    "threading.Thread", "threading.Condition", "threading.Event",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "threading.Barrier", "threading.Timer",
+}
+
+#: ``rule -> path suffixes`` where the rule does not apply: the engine
+#: really does own real time (watchdog) and threads (rank runners),
+#: and the wall-clock benchmark is *about* real seconds.
+DEFAULT_ALLOWLIST = {
+    "ANL001": (
+        "src/repro/simmpi/engine.py",
+        "benchmarks/bench_wallclock.py",
+    ),
+    "ANL003": (
+        "src/repro/simmpi/engine.py",
+        "src/repro/simmpi/comm.py",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding: ``path:line: code message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} " \
+               f"{self.message}"
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` as a string for Name/Attribute chains, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _clockish(node: ast.AST) -> bool:
+    """True for expressions that read a virtual clock."""
+    name = None
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    if name is None:
+        return False
+    name = name.lower()
+    return name in ("clock", "vtime") or name.endswith("_clock") \
+        or name.endswith("_vtime")
+
+
+class _Imports(ast.NodeVisitor):
+    """Maps local names to the dotted path they import."""
+
+    def __init__(self) -> None:
+        self.alias: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for a in node.names:
+            self.alias[a.asname or a.name.split(".")[0]] = \
+                a.name if a.asname else a.name.split(".")[0]
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return
+        for a in node.names:
+            self.alias[a.asname or a.name] = f"{node.module}.{a.name}"
+
+
+def _resolve(dotted: str | None, alias: dict[str, str]) -> str | None:
+    """Expand the leading segment of a dotted chain through imports."""
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    base = alias.get(head)
+    if base is None:
+        return dotted
+    return f"{base}.{rest}" if rest else base
+
+
+class _RequestTracker(ast.NodeVisitor):
+    """ANL002 within one function: requests must reach wait/test."""
+
+    def __init__(self, out: list[Violation], path: str,
+                 suppressed: set[tuple[str, int]]) -> None:
+        self.out = out
+        self.path = path
+        self.suppressed = suppressed
+        # name -> (line, col) of the pending isend/irecv assignment
+        self.pending: dict[str, tuple[int, int]] = {}
+
+    @staticmethod
+    def _is_req_call(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("isend", "irecv"))
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        if self._is_req_call(node.value):
+            self._flag(node.lineno, node.col_offset,
+                       "request discarded: result of "
+                       f"{node.value.func.attr} is never waited on")
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_req_call(node.value) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            self.pending[node.targets[0].id] = (node.lineno,
+                                                node.col_offset)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # name.wait()/name.test() completes it; passing the name to any
+        # call (waitall, append, ...) escapes it conservatively.
+        f = node.func
+        if isinstance(f, ast.Attribute):
+            if f.attr in ("wait", "test") and isinstance(f.value, ast.Name):
+                self.pending.pop(f.value.id, None)
+            if isinstance(f.value, ast.Name):
+                # reqs.append(r): the receiver may be waited elsewhere
+                pass
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Name):
+                    self.pending.pop(sub.id, None)
+        self.generic_visit(node)
+
+    def _escape(self, value: ast.AST | None) -> None:
+        if value is None:
+            return
+        for sub in ast.walk(value):
+            if isinstance(sub, ast.Name):
+                self.pending.pop(sub.id, None)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        self._escape(node.value)
+        self.generic_visit(node)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self._escape(node.value)
+        self.generic_visit(node)
+
+    def visit_List(self, node: ast.List) -> None:
+        self._escape(node)
+
+    def visit_Tuple(self, node: ast.Tuple) -> None:
+        self._escape(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        self._escape(node)
+
+    def _flag(self, line: int, col: int, msg: str) -> None:
+        if ("ANL002", line) in self.suppressed:
+            return
+        self.out.append(Violation(self.path, line, col, "ANL002", msg))
+
+    def finish(self) -> None:
+        for name, (line, col) in sorted(self.pending.items(),
+                                        key=lambda kv: kv[1]):
+            self._flag(line, col,
+                       f"request {name!r} never reaches wait/test")
+
+
+def _suppressed_lines(source: str) -> set[tuple[str, int]]:
+    """``(code, line)`` pairs silenced by ``# noqa`` comments."""
+    out: set[tuple[str, int]] = set()
+    for i, text in enumerate(source.splitlines(), start=1):
+        if "# noqa" not in text:
+            continue
+        _, _, tail = text.partition("# noqa")
+        tail = tail.strip()
+        if tail.startswith(":"):
+            for code in tail[1:].replace(",", " ").split():
+                out.add((code.strip(), i))
+        else:
+            for code in RULES:
+                out.add((code, i))
+    return out
+
+
+def lint_source(source: str, path: str,
+                skip: frozenset[str] = frozenset()) -> list[Violation]:
+    """Lint one file's text; ``skip`` holds rule codes to ignore."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 0, exc.offset or 0,
+                          "ANL000", f"syntax error: {exc.msg}")]
+    suppressed = _suppressed_lines(source)
+    imports = _Imports()
+    imports.visit(tree)
+    alias = imports.alias
+    out: list[Violation] = []
+
+    def flag(code: str, node: ast.AST, msg: str) -> None:
+        if code in skip or (code, node.lineno) in suppressed:
+            return
+        out.append(Violation(path, node.lineno, node.col_offset, code,
+                             msg))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            target = _resolve(_dotted(node.func), alias)
+            if target in _WALLCLOCK:
+                flag("ANL001", node,
+                     f"wall-clock call {target}() in virtual-time "
+                     "code (durations must come from the cost model)")
+            if target in _THREAD_PRIMS:
+                flag("ANL003", node,
+                     f"raw {target} outside simmpi.engine (schedule "
+                     "coordination belongs to the engine)")
+        elif isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops) \
+                    and any(_clockish(o) for o in operands):
+                flag("ANL004", node,
+                     "float equality on a virtual clock; compare with "
+                     "a tolerance (clock arithmetic accumulates "
+                     "rounding)")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if "ANL002" in skip:
+                continue
+            tracker = _RequestTracker(out, path, suppressed)
+            for stmt in node.body:
+                tracker.visit(stmt)
+            tracker.finish()
+    out.sort(key=lambda v: (v.line, v.col, v.code))
+    return out
+
+
+def _skip_for(path: str,
+              allowlist: dict[str, tuple[str, ...]] | None,
+              ) -> frozenset[str]:
+    allowlist = DEFAULT_ALLOWLIST if allowlist is None else allowlist
+    norm = path.replace(os.sep, "/")
+    return frozenset(code for code, suffixes in allowlist.items()
+                     if any(norm.endswith(s) for s in suffixes))
+
+
+def lint_paths(paths: Iterable[str],
+               allowlist: dict[str, tuple[str, ...]] | None = None,
+               ) -> list[Violation]:
+    """Lint files and directory trees; returns sorted violations."""
+    files: list[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                files.extend(os.path.join(root, n)
+                             for n in names if n.endswith(".py"))
+        elif p.endswith(".py"):
+            files.append(p)
+    out: list[Violation] = []
+    for f in sorted(set(files)):
+        with open(f, encoding="utf-8") as fh:
+            source = fh.read()
+        out.extend(lint_source(source, f, _skip_for(f, allowlist)))
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return out

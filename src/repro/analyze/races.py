@@ -1,0 +1,128 @@
+"""Schedule-race detection over wildcard receive candidate sets.
+
+Every wildcard receive (``ANY_SOURCE``/``ANY_TAG``) records a
+:class:`~repro.obs.causal.MatchRecord` -- the exact set of live
+candidate messages the matcher chose between. The simulator always
+commits the candidate with the least ``(arrival, src, seq)``, so the
+*simulated* schedule is deterministic; the question this detector
+answers is whether that choice stands in for a choice real MPI would
+also have made, or papers over a genuine race.
+
+A match is flagged when the winner and some other candidate are
+
+1. **causally concurrent** -- neither send happens-before the other
+   (:mod:`repro.analyze.vclock`), so no program ordering forced one
+   to arrive first, *and*
+2. **order-unstable** -- their modeled arrival order either *inverts*
+   their post order (the message posted earlier arrived later: the
+   winner is decided by modeled transfer times, which a real network
+   would perturb) or *ties* it exactly (the winner is decided by the
+   ``(src, seq)`` tie-break, which has no physical meaning at all),
+   *and*
+3. **assignment-relevant** -- resolving the pair the other way would
+   change which receive stream gets which message. An inversion
+   always qualifies (the modeled times deciding it are exactly what a
+   perturbation changes). An exact tie does not when both messages
+   are drained by the *same* stream -- the same ``(dst, comm, source,
+   tag)`` wildcard spec -- since either resolution then delivers the
+   same messages to the same receiver, differing only in an
+   intra-stream order the model itself declares symmetric. A tie
+   whose loser lands in a *different* stream (or is never received at
+   all) is a race: physical noise alone decides the assignment.
+
+Candidates that are concurrent but arrive in post order are not
+races: any network that roughly preserves injection order delivers
+the same winner. Together these rules make a clean many-to-one server
+loop (the paper's fig5/fig7 workloads, including their symmetric
+same-instant control messages) analyze silent, while a fault-injected
+message delay deterministically fires.
+
+Documented limitation: an application that is order-sensitive to two
+*tied* messages within one receive stream can hide behind rule 3;
+the trace records who-got-what, not what the receiver did with it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analyze.finding import Finding, WILDCARD_RACE, msg_label
+from repro.analyze.vclock import HBRelation, build_happens_before
+
+
+def _unstable(winner: tuple[int, int, float, float],
+              other: tuple[int, int, float, float]) -> str | None:
+    """Why the pair's arrival order is not forced by its post order."""
+    _, _, w_post, w_arrival = winner
+    _, _, o_post, o_arrival = other
+    if o_arrival == w_arrival:
+        return "arrival tie"
+    if (o_post - w_post) * (o_arrival - w_arrival) < 0:
+        return "arrival order inverts post order"
+    return None
+
+
+def _stream_map(obs: Any) -> dict[int, tuple[int, int, int, int]]:
+    """``msg_id -> (dst, comm, source, tag)`` wildcard stream that
+    eventually received it (matched wildcard receives only)."""
+    return {m.msg_id: (m.dst, m.comm_id, m.source, m.tag)
+            for m in obs.causal.matches()}
+
+
+def find_races(obs: Any, nranks: int | None = None,
+               hb: HBRelation | None = None) -> list[Finding]:
+    """Flag every recorded wildcard match that hides a schedule race.
+
+    Returns one :class:`~repro.analyze.finding.Finding` per racy
+    match, naming the full candidate set and each racy rival. Pass a
+    prebuilt ``hb`` relation to avoid replaying the trace twice.
+    """
+    if hb is None:
+        hb = build_happens_before(obs, nranks)
+    streams = _stream_map(obs)
+    findings: list[Finding] = []
+    for m in obs.causal.matches():
+        if len(m.candidates) < 2:
+            continue
+        winner = next((c for c in m.candidates if c[0] == m.msg_id), None)
+        if winner is None:  # candidate snapshot predates a fault rewrite
+            continue
+        stream = (m.dst, m.comm_id, m.source, m.tag)
+        rivals: list[dict[str, Any]] = []
+        for cand in m.candidates:
+            if cand[0] == winner[0]:
+                continue
+            why = _unstable(winner, cand)
+            if why is None:
+                continue
+            if why == "arrival tie" and streams.get(cand[0]) == stream:
+                continue  # same-stream drain: assignment-irrelevant
+            if not hb.concurrent_sends(winner[0], cand[0]):
+                continue
+            rivals.append({"msg_id": cand[0], "src": cand[1],
+                           "t_post": cand[2], "t_arrival": cand[3],
+                           "why": why})
+        if not rivals:
+            continue
+        findings.append(Finding(
+            WILDCARD_RACE, m.dst,
+            f"wildcard recv on rank {m.dst} (comm {m.comm_id}, source "
+            f"{m.source}, tag {m.tag}) chose msg {msg_label(m.msg_id)} "
+            f"from rank {winner[1]} over {len(rivals)} concurrent "
+            "rival(s): "
+            + ", ".join(f"msg {msg_label(r['msg_id'])} from rank "
+                        f"{r['src']} ({r['why']})" for r in rivals),
+            {
+                "comm_id": m.comm_id,
+                "source": m.source,
+                "tag": m.tag,
+                "chosen": m.msg_id,
+                "t_match": m.t_match,
+                "candidates": [
+                    {"msg_id": c[0], "src": c[1], "t_post": c[2],
+                     "t_arrival": c[3]} for c in m.candidates
+                ],
+                "rivals": rivals,
+            },
+        ))
+    return findings

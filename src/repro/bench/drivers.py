@@ -221,11 +221,8 @@ def run_pure_hdf5(nprod: int, ncons: int,
 # -- hand-written MPI ---------------------------------------------------------------
 
 
-def run_pure_mpi(nprod: int, ncons: int,
-                 wl: SyntheticWorkload | None = None,
-                 machine: Machine = THETA_KNL) -> ExecutedResult:
-    """The paper's hand-written MPI redistribution."""
-    wl = wl or SyntheticWorkload()
+def _pure_mpi_wf(nprod: int, ncons: int, wl: SyntheticWorkload,
+                 machine: Machine):
     shape = wl.grid_shape(nprod)
     npart = wl.total_particles(nprod)
 
@@ -257,6 +254,15 @@ def run_pure_mpi(nprod: int, ncons: int,
     wf.add_task("producer", nprod, producer)
     wf.add_task("consumer", ncons, consumer)
     wf.add_link("producer", "consumer")
+    return wf
+
+
+def run_pure_mpi(nprod: int, ncons: int,
+                 wl: SyntheticWorkload | None = None,
+                 machine: Machine = THETA_KNL) -> ExecutedResult:
+    """The paper's hand-written MPI redistribution."""
+    wl = wl or SyntheticWorkload()
+    wf = _pure_mpi_wf(nprod, ncons, wl, machine)
     res, ok = _run(wf, machine)
     return _finish(nprod, ncons, res, ok)
 

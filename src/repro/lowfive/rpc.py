@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.obs import span as obs_span
-from repro.simmpi import ANY_SOURCE, Intercomm, WAKE_ANY
+from repro.simmpi import ANY_SOURCE, ANY_TAG, Intercomm, WAKE_ANY, WaitDesc
 
 #: Tag used for RPC requests (client -> server).
 TAG_REQUEST = 701
@@ -172,12 +172,23 @@ class RPCServer:
         self._notify_handlers = {}
         self._done: dict[int, set[int]] = {}
         self._pending: list[tuple[Intercomm, object, int]] = []
+        # Extra message lanes beyond REQUEST/CTRL: tag -> handler
+        # ``fn(inter, payload, source)``. Registered lanes take part in
+        # the same global arrival-order selection as RPC traffic, so a
+        # server that also drains e.g. staged data keeps one
+        # deterministic ordering across all of its inbound tags.
+        self._lane_handlers: dict[int, object] = {}
 
     def attach(self, inter: Intercomm) -> None:
         """Listen for requests arriving on ``inter``."""
         if inter not in self._inters:
             self._inters.append(inter)
             self._done[id(inter)] = set()
+
+    def add_lane(self, tag: int, handler) -> None:
+        """Serve an extra inbound ``tag`` with ``handler(inter, payload,
+        source)`` on every attached intercomm."""
+        self._lane_handlers[tag] = handler
 
     def register(self, name: str, handler) -> None:
         """Register a call handler ``handler(source, *args)``."""
@@ -224,25 +235,86 @@ class RPCServer:
             len(self._done[id(i)]) >= i.remote_size for i in self._inters
         )
 
-    def poll_once(self) -> bool:
-        """Answer at most one pending message per intercomm.
-
-        Returns True when anything was handled.
-        """
-        progressed = False
+    def _lane_specs(self):
+        """Every ``(intercomm, tag)`` lane this server drains."""
         for inter in self._inters:
-            got = inter._try_recv(ANY_SOURCE, TAG_REQUEST)
-            if got is not None:
-                payload, status = got
-                self._handle_request(inter, payload, status.source)
-                progressed = True
+            yield inter, TAG_REQUEST
+            yield inter, TAG_CTRL
+            for tag in self._lane_handlers:
+                yield inter, tag
+
+    def _all_senders(self) -> tuple:
+        """World ranks that can post into any lane (safety-gate input)."""
+        ranks: set[int] = set()
+        for inter in self._inters:
+            ranks.update(inter._sender_members())
+        return tuple(sorted(ranks))
+
+    def _select_locked(self, proc):
+        """Best queued candidate over every lane; ``proc.lock`` held.
+
+        Returns ``((inter, tag, msg), key)`` or ``(None, None)`` where
+        ``key = (arrival, comm_id, src, seq)`` -- the total order serve
+        loops answer messages in.
+        """
+        best = None
+        best_key = None
+        for inter, tag in self._lane_specs():
+            mbox = proc.mailbox.get(inter.comm_id)
+            if not mbox:
                 continue
-            got = inter._try_recv(ANY_SOURCE, TAG_CTRL)
-            if got is not None:
-                payload, status = got
-                self._handle_ctrl(inter, payload, status.source)
-                progressed = True
-        return progressed
+            m = mbox.peek_match(ANY_SOURCE, tag, proc.consumed)
+            if m is None:
+                continue
+            key = (m.arrival, inter.comm_id, m.src, m.seq)
+            if best_key is None or key < best_key:
+                best_key, best = key, (inter, tag, m)
+        return best, best_key
+
+    def _select(self, proc):
+        with proc.lock:
+            return self._select_locked(proc)
+
+    def _dispatch(self, inter: Intercomm, tag: int, payload,
+                  source: int) -> None:
+        if tag == TAG_REQUEST:
+            self._handle_request(inter, payload, source)
+        elif tag == TAG_CTRL:
+            self._handle_ctrl(inter, payload, source)
+        else:
+            self._lane_handlers[tag](inter, payload, source)
+
+    def poll_once(self) -> bool:
+        """Handle the single best queued message across every lane.
+
+        Selection is global virtual arrival order -- the minimum
+        ``(arrival, comm_id, src, seq)`` over every attached intercomm
+        and tag lane -- never attachment or tag priority, so which
+        message a server answers next is a pure function of virtual
+        time, independent of real-thread scheduling. The winner is
+        consumed only once the wildcard safety gate proves no lagging
+        sender can still post an earlier one (safety is monotone in the
+        arrival bound, so when the global minimum is not yet provably
+        next, nothing is).
+
+        Returns True when a message was handled.
+        """
+        if not self._inters:
+            return False
+        engine = self._inters[0].engine
+        proc = engine.current_proc()
+        cand, _ = self._select(proc)
+        if cand is None:
+            return False
+        inter, tag, _msg = cand
+        got = inter._try_recv(ANY_SOURCE, tag)
+        if got is None:
+            # Queued but not provably the global minimum yet; the
+            # caller sleeps until the safety epoch moves.
+            return False
+        payload, status = got
+        self._dispatch(inter, tag, payload, status.source)
+        return True
 
     def _global_vtime(self) -> float:
         """Furthest virtual clock of any rank on the machine.
@@ -253,20 +325,6 @@ class RPCServer:
         """
         engine = self._inters[0].engine
         return max(p.clock for p in engine.procs)
-
-    def _has_inbound(self, proc) -> bool:
-        """True when any attached intercomm has an undelivered request
-        or control message waiting; must hold ``proc.lock``."""
-        for inter in self._inters:
-            mbox = proc.mailbox.get(inter.comm_id)
-            if not mbox:
-                continue
-            if (mbox.peek_match(ANY_SOURCE, TAG_REQUEST, proc.consumed)
-                    is not None
-                    or mbox.peek_match(ANY_SOURCE, TAG_CTRL, proc.consumed)
-                    is not None):
-                return True
-        return False
 
     def serve(self, timeout: float = 60.0) -> None:
         """Answer requests until every remote rank has sent ``done``.
@@ -292,10 +350,23 @@ class RPCServer:
         replay, self._pending = self._pending, []
         for inter, payload, source in replay:
             self._handle_request(inter, payload, source)
+        # Wait descriptor for the safety gate / deadlock explainer: the
+        # lanes let peers prove this server cannot act before a bound,
+        # which is what breaks the mutual wait between two servers each
+        # holding an unsafe candidate (they commit in arrival order).
+        senders = self._all_senders()
+        lanes = tuple((i.comm_id, ANY_SOURCE, t)
+                      for i, t in self._lane_specs())
+        desc = WaitDesc("serve", -1, ANY_SOURCE, ANY_TAG,
+                        senders, lanes=lanes)
         last_progress = self._global_vtime()
         while not self._all_done():
             engine.check_failed()
             engine.maybe_crash()
+            # Epoch read precedes the poll's peek + safety evaluation,
+            # so a blocked-transition after either shows as a change
+            # against ``epoch0 + 1`` (our own note_blocked bumps once).
+            epoch0 = engine.safety_epoch
             if self.poll_once():
                 last_progress = self._global_vtime()
                 # New traffic may unblock previously deferred requests
@@ -310,24 +381,36 @@ class RPCServer:
                     f"serve loop starved for {timeout:.0f}s virtual "
                     "time; consumers never signalled done"
                 )
-            # Sleep until traffic arrives or the machine advances past
-            # the virtual deadline; the engine watchdog bounds real
-            # time. Any delivery may be ours (WAKE_ANY), and the
-            # virtual deadline can pass without traffic, so this wait
-            # polls -- unlike mailbox waits, which are event-driven.
-            with proc.cond:
-                proc.wait_spec = WAKE_ANY
-                try:
-                    engine.wait_on(
-                        proc.cond,
-                        lambda: (self._has_inbound(proc)
-                                 or self._global_vtime() - last_progress
-                                 >= timeout),
-                        "rpc traffic",
-                        poll=engine._POLL,
-                    )
-                finally:
-                    proc.wait_spec = None
+            _, key0 = self._select(proc)
+            proc.wait_desc = desc
+            engine.note_blocked()
+            engine.add_safety_waiter(proc)
+            try:
+                # Sleep until the lane minimum changes, the safety
+                # epoch moves (a candidate may have become provably
+                # next), or the machine advances past the virtual
+                # deadline; the engine watchdog bounds real time. The
+                # deadline can pass without any event, so this wait
+                # polls -- unlike mailbox waits, which are event-driven.
+                with proc.cond:
+                    def stirred():
+                        _, k = self._select_locked(proc)
+                        if k != key0:
+                            return True
+                        if engine.safety_epoch != epoch0 + 1:
+                            return True
+                        return (self._global_vtime() - last_progress
+                                >= timeout)
+
+                    proc.wait_spec = WAKE_ANY
+                    try:
+                        engine.wait_on(proc.cond, stirred, "rpc traffic",
+                                       poll=engine._POLL)
+                    finally:
+                        proc.wait_spec = None
+            finally:
+                engine.discard_safety_waiter(proc)
+                proc.wait_desc = None
         # Reset for a potential next serve epoch (next file close).
         for inter in self._inters:
             self._done[id(inter)] = set()

@@ -34,8 +34,7 @@ from repro.diy import Bounds, RegularDecomposer
 from repro.h5 import format as h5format
 from repro.h5.errors import NotFoundError
 from repro.h5.objects import DatasetNode, OWN_SHALLOW
-from repro.lowfive.rpc import Defer, RPCClient, RPCServer, RPCTimeout
-from repro.simmpi import WAKE_ANY
+from repro.lowfive.rpc import Defer, RPCClient, RPCServer
 from repro.lowfive.vol_dist import (
     DistMetadataVOL,
     _box_shape,
@@ -290,9 +289,12 @@ def staging_main(inters, costs=None, timeout: float = 60.0) -> dict:
     for inter in inters:
         server.attach(inter)
 
-    # Staged data bundles arrive on their own tag; fold them into the
-    # serve loop by polling both lanes. Pieces can outrace the skeleton
-    # (different producer ranks), so they wait in ``pending_pieces``.
+    # Staged data bundles arrive on their own tag, registered as an
+    # extra serve lane: the server drains REQUEST, CTRL and STAGE
+    # traffic in one global virtual-arrival order, so what a staging
+    # rank does next never depends on real-thread scheduling. Pieces
+    # can outrace the skeleton (different producer ranks), so they wait
+    # in ``pending_pieces`` until their skeleton lands.
     pending_pieces: list[tuple[str, list]] = []
 
     def _apply(fname, payload):
@@ -300,43 +302,27 @@ def staging_main(inters, costs=None, timeout: float = 60.0) -> dict:
         for path, overlap, values in payload:
             root.lookup(path).write(overlap, values, OWN_SHALLOW)
 
-    def drain_stage():
-        progressed = False
-        for inter in inters:
-            got = inter._try_recv(tag=StagedMetadataVOL.TAG_STAGE)
-            while got is not None:
-                progressed = True
-                (kind, fname, payload), _status = got
-                if kind == "skeleton":
-                    skeletons[fname] = payload
-                    trees.pop(fname, None)
-                elif fname in skeletons:
-                    _apply(fname, payload)
-                else:
-                    pending_pieces.append((fname, payload))
-                got = inter._try_recv(tag=StagedMetadataVOL.TAG_STAGE)
-        if pending_pieces:
-            still = []
-            for fname, payload in pending_pieces:
-                if fname in skeletons:
-                    _apply(fname, payload)
-                    progressed = True
-                else:
-                    still.append((fname, payload))
-            pending_pieces[:] = still
-        return progressed
+    def _flush_pending():
+        still = []
+        for fname, payload in pending_pieces:
+            if fname in skeletons:
+                _apply(fname, payload)
+            else:
+                still.append((fname, payload))
+        pending_pieces[:] = still
 
-    engine = inters[0].engine
-    proc = engine.current_proc()
+    def stage_lane(inter, payload, source):
+        kind, fname, data = payload
+        if kind == "skeleton":
+            skeletons[fname] = data
+            trees.pop(fname, None)
+            _flush_pending()
+        elif fname in skeletons:
+            _apply(fname, data)
+        else:
+            pending_pieces.append((fname, data))
 
-    def _inbound() -> bool:
-        # Any live message on a staging comm is ours (requests, control
-        # notifications, or staged bundles); must hold ``proc.lock``.
-        for i in inters:
-            mbox = proc.mailbox.get(i.comm_id)
-            if mbox is not None and mbox.has_live(proc.consumed):
-                return True
-        return False
+    server.add_lane(StagedMetadataVOL.TAG_STAGE, stage_lane)
 
     from repro.obs import span as obs_span
 
@@ -344,40 +330,7 @@ def staging_main(inters, costs=None, timeout: float = 60.0) -> dict:
     # lifetime: client waits on it classify as rpc-server-busy.
     with obs_span(inters[0], "lowfive.staging", cat="lowfive",
                   phase="staging"):
-        last_progress = server._global_vtime()
-        while not server._all_done():
-            engine.check_failed()
-            engine.maybe_crash()
-            progressed = drain_stage()
-            if server.poll_once():
-                progressed = True
-                if server._pending:
-                    replay, server._pending = server._pending, []
-                    for inter, payload, source in replay:
-                        server._handle_request(inter, payload, source)
-            if progressed:
-                last_progress = server._global_vtime()
-                continue
-            if server._global_vtime() - last_progress >= timeout:
-                raise RPCTimeout(
-                    f"staging rank starved for {timeout:.0f}s virtual time"
-                )
-            # Like RPCServer.serve: any delivery may be ours, and the
-            # virtual deadline can pass without a notification, so
-            # this wait registers WAKE_ANY and polls.
-            with proc.cond:
-                proc.wait_spec = WAKE_ANY
-                try:
-                    engine.wait_on(
-                        proc.cond,
-                        lambda: (_inbound()
-                                 or server._global_vtime() - last_progress
-                                 >= timeout),
-                        "staged traffic",
-                        poll=engine._POLL,
-                    )
-                finally:
-                    proc.wait_spec = None
+        server.serve(timeout=timeout)
     return {fname: sum(len(n.pieces) for n in _tree(fname).walk()
                        if isinstance(n, DatasetNode))
             for fname in skeletons}

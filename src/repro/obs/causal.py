@@ -102,13 +102,55 @@ class FlowEdge:
 
 
 @dataclass(frozen=True)
+class PendingSend:
+    """One posted point-to-point message (the pending-send table).
+
+    Recorded at delivery time; the message-leak checker reports every
+    post whose ``msg_id`` was never consumed by a matching receive at
+    finalize.
+    """
+
+    msg_id: int
+    src: int  # sender world rank
+    dst: int  # receiver world rank
+    tag: int
+    comm_id: int
+    nbytes: int
+    t_post: float
+    t_arrival: float
+
+
+@dataclass(frozen=True)
+class MatchRecord:
+    """Candidate-set snapshot of one wildcard receive.
+
+    ``candidates`` holds ``(msg_id, src, t_post, t_arrival)`` for every
+    live, spec-matching message queued when the match committed --
+    exactly the heads the matcher compared. The schedule-race detector
+    flags matches whose candidate set admits more than one plausible
+    delivery order under real MPI.
+    """
+
+    dst: int  # receiver world rank
+    comm_id: int
+    source: int  # the spec, local numbering (ANY_SOURCE = -1)
+    tag: int  # the spec (ANY_TAG = -1)
+    msg_id: int  # the message the schedule chose
+    t_match: float  # receiver's clock when the match committed
+    candidates: tuple
+
+
+@dataclass(frozen=True)
 class CollectiveRecord:
     """One completed collective: entry clocks and the straggler.
 
     ``enter_clocks`` maps world rank -> virtual clock at entry;
     ``t_ready`` is the last entry (when the collective could start) and
     ``t_end`` the common exit clock, so ``t_end - t_ready`` is the
-    modeled collective transfer time.
+    modeled collective transfer time. ``kinds`` maps world rank -> the
+    operation that rank entered with (the mismatch checker flags records
+    where they differ: the rendezvous completes regardless, silently
+    corrupting semantics).
     """
 
     coll_id: int
@@ -119,6 +161,7 @@ class CollectiveRecord:
     t_ready: float
     t_end: float
     straggler: int
+    kinds: dict = field(default_factory=dict)
 
     @property
     def transfer(self) -> float:
@@ -170,6 +213,9 @@ class CausalRecorder:
         self._colls: list[CollectiveRecord] = []
         self._accounts: dict[int, RankAccount] = {}
         self._next_coll = 1
+        self._posts: dict[int, PendingSend] = {}
+        self._consumed: set[int] = set()
+        self._matches: list[MatchRecord] = []
 
     # -- producing ---------------------------------------------------------
 
@@ -190,7 +236,7 @@ class CausalRecorder:
 
     def collective(self, kind: str, comm_id: int, nbytes: int,
                    enter_clocks: dict, t_ready: float,
-                   t_end: float) -> CollectiveRecord:
+                   t_end: float, kinds: dict | None = None) -> CollectiveRecord:
         """Record one completed collective; derives the straggler."""
         straggler = max(enter_clocks,
                         key=lambda r: (enter_clocks[r], r))
@@ -199,9 +245,31 @@ class CausalRecorder:
             self._next_coll += 1
             rec = CollectiveRecord(cid, kind, comm_id, nbytes,
                                    dict(enter_clocks), t_ready, t_end,
-                                   straggler)
+                                   straggler, dict(kinds or {}))
             self._colls.append(rec)
         return rec
+
+    def post(self, msg_id: int, src: int, dst: int, tag: int,
+             comm_id: int, nbytes: int, t_post: float,
+             t_arrival: float) -> None:
+        """Record one delivered message in the pending-send table."""
+        rec = PendingSend(msg_id, src, dst, tag, comm_id, nbytes,
+                          t_post, t_arrival)
+        with self._lock:
+            self._posts[msg_id] = rec
+
+    def consume(self, msg_id: int) -> None:
+        """Mark a posted message (or its injected twin) as received."""
+        with self._lock:
+            self._consumed.add(msg_id)
+
+    def match(self, dst: int, comm_id: int, source: int, tag: int,
+              msg_id: int, t_match: float, candidates: tuple) -> None:
+        """Record a wildcard match and its candidate-set snapshot."""
+        rec = MatchRecord(dst, comm_id, source, tag, msg_id, t_match,
+                          candidates)
+        with self._lock:
+            self._matches.append(rec)
 
     # -- querying ----------------------------------------------------------
 
@@ -224,9 +292,29 @@ class CausalRecorder:
             return list(self._colls)
 
     def accounts(self) -> dict:
-        """Copy of the rank -> :class:`RankAccount` map."""
+        """Copy of the rank -> :class:`RankAccount` map, in rank order
+        (iteration order must not leak thread-scheduling order)."""
         with self._lock:
-            return dict(self._accounts)
+            return {r: self._accounts[r] for r in sorted(self._accounts)}
+
+    def posts(self) -> list[PendingSend]:
+        """The pending-send table, in message-id order."""
+        with self._lock:
+            return [self._posts[k] for k in sorted(self._posts)]
+
+    def consumed_ids(self) -> set:
+        """Message ids satisfied by a receive (either twin counts)."""
+        with self._lock:
+            return set(self._consumed)
+
+    def matches(self) -> list[MatchRecord]:
+        """Wildcard match records with candidate snapshots, ordered by
+        ``(t_match, dst, comm_id, msg_id)`` -- append order would leak
+        which rank's thread reached the recorder first."""
+        with self._lock:
+            return sorted(self._matches,
+                          key=lambda m: (m.t_match, m.dst, m.comm_id,
+                                         m.msg_id))
 
 
 # -- cause attribution -------------------------------------------------------
@@ -258,12 +346,18 @@ def dominant_span(spans, a: float, b: float):
         containing = [s for s in overl if s.t0 <= mid <= s.t1]
         if not containing:
             continue
-        deepest = min(containing, key=lambda s: (s.t1 - s.t0, -s.t0))
+        # Tie-break on timeline position and name, never on span_id:
+        # ids are allocated in real-thread order and would leak
+        # scheduling nondeterminism into the attribution.
+        deepest = min(containing,
+                      key=lambda s: (s.t1 - s.t0, -s.t0, s.name))
         totals[deepest.span_id] = totals.get(deepest.span_id, 0.0) + (p1 - p0)
         by_id[deepest.span_id] = deepest
     if not totals:
         return None
-    best = max(totals, key=lambda sid: (totals[sid], -sid))
+    best = max(totals,
+               key=lambda sid: (totals[sid], -by_id[sid].t0,
+                                by_id[sid].t1, by_id[sid].name))
     return by_id[best]
 
 

@@ -27,7 +27,6 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.obs.causal import (
-    EARLY_SENDER,
     classify_waits,
     conservation,
     dominant_span,

@@ -41,6 +41,7 @@ from repro.simmpi.engine import (
     Engine,
     TraceEvent,
     WAKE_ANY,
+    WaitDesc,
     WorldResult,
     run_world,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "Engine",
     "TraceEvent",
     "WAKE_ANY",
+    "WaitDesc",
     "WorldResult",
     "run_world",
     "CommMailbox",

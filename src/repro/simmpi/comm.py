@@ -29,6 +29,10 @@ class _CollectiveCtx:
         self.entries: dict[int, object] = {}
         # world rank -> clock at entry (straggler attribution)
         self.enter_clocks: dict[int, float] = {}
+        # world rank -> collective kind at entry (mismatch detection:
+        # the rendezvous completes even when ranks disagree, so the
+        # analyzer needs the per-rank record to flag it).
+        self.enter_kinds: dict[int, str] = {}
         self.max_clock = float("-inf")
         self.result = None
         self.final_clock = 0.0
@@ -153,6 +157,7 @@ class Comm:
                 arrival=arrival,
                 src_world=proc.rank,
                 sent_at=proc.clock,
+                seq=self.engine.next_msg_seq(proc),
             )
         )
         self.engine.record(proc.clock, "send", proc.rank, dst_world,
@@ -164,6 +169,20 @@ class Comm:
         self.send(payload, dest, tag, nbytes=nbytes)
         return Request(self, "send")
 
+    def _sender_members(self):
+        """World ranks that may post messages into this communicator."""
+        return self.members
+
+    def _spec_senders(self, source: int) -> tuple:
+        """Resolved world ranks that could satisfy a ``source`` spec."""
+        if source == ANY_SOURCE:
+            return tuple(self._sender_members())
+        return (self._src_world(source),)
+
+    def _msg_src_world(self, msg) -> int:
+        return (msg.src_world if msg.src_world >= 0
+                else self._src_world(msg.src))
+
     def _pop_match(self, proc, source: int, tag: int):
         """Pop the best matching message while holding ``proc.lock``.
 
@@ -171,11 +190,16 @@ class Comm:
         :class:`~repro.simmpi.mailbox.CommMailbox`); non-matching
         queued messages are never touched. Injected duplicates are
         deduped here: consuming either twin records its seq so the
-        other is purged before it can match.
+        other is purged before it can match. Wildcard matches snapshot
+        the candidate heads for the schedule-race detector; every
+        consumed message marks its pending-send entry satisfied.
         """
         mbox = proc.mailbox.get(self.comm_id)
         if not mbox:
             return None
+        wildcard = source == ANY_SOURCE or tag == ANY_TAG
+        cands = (mbox.match_candidates(source, tag, proc.consumed)
+                 if wildcard else None)
         m = mbox.pop_match(source, tag, proc.consumed)
         if m is None:
             return None
@@ -183,6 +207,18 @@ class Comm:
             proc.consumed.add(m.seq)
         if m.dup_of is not None:
             proc.consumed.add(m.dup_of)
+        causal = self.engine.obs.causal
+        orig = m.dup_of if m.dup_of is not None else m.seq
+        causal.consume(orig)
+        if wildcard:
+            causal.match(
+                proc.rank, self.comm_id, source, tag, orig, proc.clock,
+                tuple(sorted(
+                    (c.dup_of if c.dup_of is not None else c.seq,
+                     self._msg_src_world(c), c.sent_at, c.arrival)
+                    for c in cands
+                )),
+            )
         return m
 
     def _finish_recv(self, proc, msg, t_start: float) -> int:
@@ -215,20 +251,28 @@ class Comm:
         )
         return src_world
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
-        """Blocking receive; returns ``(payload, Status)``."""
-        proc = self._proc()
-        self.engine.maybe_crash()
-        t_start = proc.clock
+    def _match_concrete(self, proc, source: int, tag: int, block: bool,
+                        what: str):
+        """Fully-qualified (no wildcard) match: one bucket, FIFO by
+        ``(arrival, seq)`` -- deterministic without any gate."""
+        engine = self.engine
         with proc.cond:
             msg = self._pop_match(proc, source, tag)
-            if msg is None:
-                msg_holder = []
+        if msg is not None or not block:
+            return msg
+        proc.wait_desc = _engine.WaitDesc(
+            "recv", self.comm_id, source, tag, self._spec_senders(source),
+            lanes=((self.comm_id, source, tag),),
+        )
+        engine.note_blocked()
+        try:
+            with proc.cond:
+                holder = []
 
                 def ready():
                     m = self._pop_match(proc, source, tag)
                     if m is not None:
-                        msg_holder.append(m)
+                        holder.append(m)
                         return True
                     return False
 
@@ -236,14 +280,96 @@ class Comm:
                 # cannot match do not wake this rank.
                 proc.wait_spec = (self.comm_id, source, tag)
                 try:
-                    self.engine.wait_on(
-                        proc.cond, ready,
-                        f"message (comm {self.comm_id}, source {source}, "
-                        f"tag {tag})",
-                    )
+                    engine.wait_on(proc.cond, ready, what)
                 finally:
                     proc.wait_spec = None
-                msg = msg_holder[0]
+                return holder[0]
+        finally:
+            proc.wait_desc = None
+
+    def _match_wildcard(self, proc, source: int, tag: int, block: bool,
+                        what: str):
+        """Wildcard match gated on sender safety.
+
+        The queued minimum may not be the *global* minimum: a lagging
+        sender could still post a message with an earlier arrival, and
+        which side wins would then depend on real-thread scheduling --
+        the PR-4 attribution nondeterminism. The match therefore
+        commits only once :meth:`Engine.wildcard_safe` proves every
+        potential sender is past the candidate's arrival, exited, or
+        transitively blocked; at that point every earlier arrival is
+        already queued (delivery is synchronous inside ``send``) and
+        the heap minimum is the true one. Safety is stable, so the pop
+        after re-taking the lock stays valid even if an even earlier
+        message slipped in meanwhile.
+        """
+        engine = self.engine
+        senders = self._spec_senders(source)
+        desc = _engine.WaitDesc(
+            "recv", self.comm_id, source, tag, senders,
+            lanes=((self.comm_id, source, tag),),
+        )
+        while True:
+            epoch0 = engine.safety_epoch
+            with proc.cond:
+                mbox = proc.mailbox.get(self.comm_id)
+                head = (mbox.peek_match(source, tag, proc.consumed)
+                        if mbox else None)
+                hkey = ((head.arrival, head.src, head.seq)
+                        if head is not None else None)
+            if head is not None and engine.wildcard_safe(
+                    proc.rank, head.arrival, senders):
+                with proc.cond:
+                    msg = self._pop_match(proc, source, tag)
+                if msg is not None and msg.arrival <= head.arrival:
+                    return msg
+                continue
+            if not block:
+                return None
+            # ``epoch0`` was read before the peek + safety evaluation,
+            # so any blocked-transition after that point shows up as an
+            # epoch change. Our own ``note_blocked`` below bumps the
+            # epoch by exactly one; the predicate compares against
+            # ``epoch0 + 1`` so we do not wake on our own transition.
+            proc.wait_desc = desc
+            engine.note_blocked()
+            if head is not None:
+                engine.add_safety_waiter(proc)
+            try:
+                with proc.cond:
+                    def changed():
+                        mb = proc.mailbox.get(self.comm_id)
+                        h = (mb.peek_match(source, tag, proc.consumed)
+                             if mb else None)
+                        if h is None:
+                            return hkey is not None
+                        if (h.arrival, h.src, h.seq) != hkey:
+                            return True
+                        return engine.safety_epoch != epoch0 + 1
+
+                    proc.wait_spec = (self.comm_id, source, tag)
+                    try:
+                        engine.wait_on(proc.cond, changed, what)
+                    finally:
+                        proc.wait_spec = None
+            finally:
+                if head is not None:
+                    engine.discard_safety_waiter(proc)
+                proc.wait_desc = None
+
+    def _match(self, proc, source: int, tag: int, block: bool):
+        what = (f"message (comm {self.comm_id}, source {source}, "
+                f"tag {tag})")
+        if source == ANY_SOURCE or tag == ANY_TAG:
+            return self._match_wildcard(proc, source, tag, block, what)
+        return self._match_concrete(proc, source, tag, block, what)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; returns ``(payload, Status)``."""
+        proc = self._proc()
+        self.engine.maybe_crash()
+        t_start = proc.clock
+        msg = self._match(proc, source, tag, block=True)
         src_world = self._finish_recv(proc, msg, t_start)
         self.engine.maybe_crash()
         self.engine.record(proc.clock, "recv", proc.rank,
@@ -251,12 +377,16 @@ class Comm:
         return msg.payload, Status(msg.src, msg.tag, msg.nbytes)
 
     def _try_recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
-        """Nonblocking receive; ``(payload, Status)`` or ``None``."""
+        """Nonblocking receive; ``(payload, Status)`` or ``None``.
+
+        A queued wildcard candidate that is not yet provably the global
+        minimum is reported as "nothing there": consuming it early is
+        exactly the schedule race the safety gate exists to close.
+        """
         proc = self._proc()
         self.engine.maybe_crash()
         t_start = proc.clock
-        with proc.cond:
-            msg = self._pop_match(proc, source, tag)
+        msg = self._match(proc, source, tag, block=False)
         if msg is None:
             return None
         src_world = self._finish_recv(proc, msg, t_start)
@@ -273,44 +403,74 @@ class Comm:
         """Check for a matching message without consuming it.
 
         Returns a :class:`Status`, or ``None`` when ``block=False`` and
-        nothing matches.
+        nothing matches. Wildcard probes honor the same safety gate as
+        wildcard receives: the reported message is the deterministic
+        winner, not whichever candidate happened to be queued first in
+        real time.
         """
         proc = self._proc()
-        with proc.cond:
-            def find():
-                mbox = proc.mailbox.get(self.comm_id)
-                if not mbox:
-                    return None
-                return mbox.peek_match(source, tag, proc.consumed)
+        engine = self.engine
+        wildcard = source == ANY_SOURCE or tag == ANY_TAG
 
-            if block:
+        def find():
+            mbox = proc.mailbox.get(self.comm_id)
+            if not mbox:
+                return None
+            return mbox.peek_match(source, tag, proc.consumed)
+
+        while True:
+            epoch0 = engine.safety_epoch
+            with proc.cond:
                 m = find()
-                if m is None:
-                    holder = []
-
-                    def ready():
-                        got = find()
-                        if got is not None:
-                            holder.append(got)
+                hkey = (m.arrival, m.src, m.seq) if m is not None else None
+            if m is not None and (
+                    not wildcard
+                    or engine.wildcard_safe(proc.rank, m.arrival,
+                                            self._spec_senders(source))):
+                with proc.cond:
+                    best = find()
+                if best is not None and best.arrival <= m.arrival:
+                    return Status(best.src, best.tag, best.nbytes)
+                continue
+            if not block:
+                return None
+            proc.wait_desc = _engine.WaitDesc(
+                "probe", self.comm_id, source, tag,
+                self._spec_senders(source),
+                lanes=((self.comm_id, source, tag),),
+            )
+            engine.note_blocked()
+            if m is not None:
+                engine.add_safety_waiter(proc)
+            try:
+                with proc.cond:
+                    def changed():
+                        h = find()
+                        if h is None:
+                            return hkey is not None
+                        if (h.arrival, h.src, h.seq) != hkey:
                             return True
-                        return False
+                        return (wildcard
+                                and engine.safety_epoch != epoch0 + 1)
 
                     proc.wait_spec = (self.comm_id, source, tag)
                     try:
-                        self.engine.wait_on(proc.cond, ready, "probe")
+                        engine.wait_on(proc.cond, changed, "probe")
                     finally:
                         proc.wait_spec = None
-                    m = holder[0]
-            else:
-                m = find()
-                if m is None:
-                    return None
-        return Status(m.src, m.tag, m.nbytes)
+            finally:
+                if m is not None:
+                    engine.discard_safety_waiter(proc)
+                proc.wait_desc = None
 
     # -- collectives -----------------------------------------------------------
 
     def _participants(self) -> int:
         return self.size
+
+    def _participant_worlds(self) -> list[int]:
+        """World ranks taking part in this comm's collectives."""
+        return self.members
 
     def _my_coll_key(self) -> int:
         return self.rank
@@ -335,13 +495,30 @@ class Comm:
             {"comm": self.comm_id, "nbytes": nbytes},
         )
         enter = proc.clock
+        # Wait descriptor for the safety gate / deadlock explainer: a
+        # collective waiter can only be released by another participant.
+        # ``stuck`` probes the rendezvous state lock-free so a released-
+        # but-unscheduled waiter is still classified as running.
+        peers = tuple(w for w in self._participant_worlds()
+                      if w != proc.rank)
         with ctx.cond:
-            self.engine.wait_on(
-                ctx.cond, lambda: not ctx.draining, f"{kind} (drain)"
-            )
+            if ctx.draining:
+                proc.wait_desc = _engine.WaitDesc(
+                    "collective", self.comm_id, -1, -1, peers, kind,
+                    stuck=lambda: ctx.draining,
+                )
+                self.engine.note_blocked()
+                try:
+                    self.engine.wait_on(
+                        ctx.cond, lambda: not ctx.draining,
+                        f"{kind} (drain)"
+                    )
+                finally:
+                    proc.wait_desc = None
             gen = ctx.generation
             ctx.entries[me] = contribution
             ctx.enter_clocks[proc.rank] = proc.clock
+            ctx.enter_kinds[proc.rank] = kind
             ctx.max_clock = max(ctx.max_clock, proc.clock)
             if len(ctx.entries) == ctx.size:
                 ctx.result = reducer(dict(ctx.entries))
@@ -351,15 +528,24 @@ class Comm:
                 obs.causal.collective(
                     kind=kind, comm_id=self.comm_id, nbytes=nbytes,
                     enter_clocks=ctx.enter_clocks, t_ready=ctx.max_clock,
-                    t_end=ctx.final_clock,
+                    t_end=ctx.final_clock, kinds=ctx.enter_kinds,
                 )
                 ctx.complete = gen
                 ctx.draining = True
                 ctx.cond.notify_all()
             else:
-                self.engine.wait_on(
-                    ctx.cond, lambda: ctx.complete >= gen, f"{kind} (gen {gen})"
+                proc.wait_desc = _engine.WaitDesc(
+                    "collective", self.comm_id, -1, -1, peers, kind,
+                    stuck=lambda: ctx.complete < gen,
                 )
+                self.engine.note_blocked()
+                try:
+                    self.engine.wait_on(
+                        ctx.cond, lambda: ctx.complete >= gen,
+                        f"{kind} (gen {gen})"
+                    )
+                finally:
+                    proc.wait_desc = None
             result = ctx.result
             final = ctx.final_clock
             ready = ctx.max_clock
@@ -367,6 +553,7 @@ class Comm:
             if ctx.nleft == ctx.size:
                 ctx.entries = {}
                 ctx.enter_clocks = {}
+                ctx.enter_kinds = {}
                 ctx.nleft = 0
                 ctx.draining = False
                 ctx.generation += 1
@@ -633,8 +820,15 @@ class Intercomm(Comm):
         """Senders on an intercomm live in the remote group."""
         return self.remote_members[src_local]
 
+    def _sender_members(self):
+        """Messages on an intercomm always come from the remote group."""
+        return self.remote_members
+
     def _participants(self) -> int:
         return len(self.members) + len(self.remote_members)
+
+    def _participant_worlds(self) -> list[int]:
+        return self.members + self.remote_members
 
     def _my_coll_key(self) -> int:
         # Unique key across both groups: world rank.

@@ -5,6 +5,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.obs import ObsContext
 from repro.simmpi.errors import DeadlockError, RankFailure, WorkerAborted
@@ -19,6 +20,38 @@ _tls = threading.local()
 WAKE_ANY = object()
 
 
+class WaitDesc(NamedTuple):
+    """What a blocked rank is waiting for (safety gate + deadlock explainer).
+
+    ``kind`` is ``"recv"``, ``"probe"``, ``"serve"`` or ``"collective"``;
+    ``source``/``tag`` are the local spec (``ANY_SOURCE``/``ANY_TAG`` for
+    wildcards and serve loops); ``senders`` is the resolved set of world
+    ranks whose action could wake this rank (``None`` = any rank). The
+    attribute write is atomic under the GIL; readers that also need the
+    rank's mailbox state take the rank's lock.
+    """
+
+    kind: str
+    comm_id: int
+    source: int
+    tag: int
+    senders: tuple | None
+    detail: str = ""
+    #: Optional lock-free probe: returns False once the wait's predicate
+    #: turned true (the rank can proceed without a waker and must be
+    #: treated as running even though it is still inside the wait).
+    stuck: object = None
+    #: The ``(comm_id, source, tag)`` specs this waiter matches messages
+    #: against (one for a receive/probe, several for a serve loop; empty
+    #: for collectives). The safety evaluator peeks these lanes under
+    #: the rank's lock: a waiter whose best queued candidate arrives at
+    #: or after the bound is classifiable as blocked -- every path by
+    #: which it proceeds lands its clock at or past the bound -- so
+    #: concurrent gated matches resolve in arrival order instead of
+    #: deadlocking on each other.
+    lanes: tuple = ()
+
+
 def current_world_rank() -> int:
     """World rank of the calling thread (threads launched by an Engine)."""
     rank = getattr(_tls, "world_rank", None)
@@ -31,11 +64,16 @@ class Proc:
     """Per-rank state: virtual clock and mailbox. Internal."""
 
     __slots__ = ("rank", "clock", "lock", "cond", "mailbox", "consumed",
-                 "wait_spec")
+                 "wait_spec", "wait_desc", "done", "msg_seq")
 
     def __init__(self, rank: int):
         self.rank = rank
         self.clock = 0.0
+        # Per-sender message id stream: the next message this rank
+        # posts gets id ``rank << 32 | msg_seq``. Single-writer (the
+        # rank's own thread), so ids are identical across same-seed
+        # runs regardless of thread interleaving or process history.
+        self.msg_seq = 0
         self.lock = threading.Lock()
         self.cond = threading.Condition(self.lock)
         # comm_id -> CommMailbox, indexed by (src, tag)
@@ -48,6 +86,14 @@ class Proc:
         # triple. Written and read under ``lock`` only; deliver uses it
         # to wake the rank only for messages it actually waits for.
         self.wait_spec = None
+        # Rich wait descriptor (:class:`WaitDesc`) set for the duration
+        # of any blocked wait -- mailbox, probe, serve loop or
+        # collective. Input to the wildcard safety gate and the
+        # deadlock explainer. Atomic attribute write; ``None`` while
+        # the rank runs.
+        self.wait_desc = None
+        # True once the rank's main returned (it will never send again).
+        self.done = False
 
 
 @dataclass(frozen=True)
@@ -82,6 +128,10 @@ class WorldResult:
         Final virtual clock of every rank.
     messages, bytes_sent:
         Total point-to-point messages and payload bytes.
+    obs:
+        The engine's :class:`~repro.obs.ObsContext` (causal trace,
+        metrics, spans) -- what :func:`repro.analyze.analyze_obs`
+        consumes.
     """
 
     returns: list = field(default_factory=list)
@@ -89,6 +139,7 @@ class WorldResult:
     clocks: list = field(default_factory=list)
     messages: int = 0
     bytes_sent: int = 0
+    obs: object = None
 
 
 class Engine:
@@ -146,6 +197,13 @@ class Engine:
         self._comm_counter = 0
         self._comm_lock = threading.Lock()
         self._coll_ctxs: dict[int, object] = {}
+        # Wildcard-match safety gate state: the epoch counts blocked-wait
+        # entries and rank exits (the transitions that can make a lagging
+        # sender safe); gated waiters sleep until it moves. ``_safety_
+        # waiters`` holds the Procs currently sleeping in a gated wait.
+        self.safety_epoch = 0
+        self._safety_lock = threading.Lock()
+        self._safety_waiters: set[Proc] = set()
 
     def coll_ctx(self, comm_id: int, size: int):
         """Shared collective-rendezvous context for a communicator."""
@@ -263,11 +321,147 @@ class Engine:
                 raise WorkerAborted("another rank failed") from self.failure
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                raise DeadlockError(
-                    f"rank {current_world_rank()} timed out after "
-                    f"{self.timeout:.0f}s real time waiting for {what}"
-                )
+                raise DeadlockError(self._explain_deadlock(what))
             cond.wait(remaining if poll is None else min(poll, remaining))
+
+    def _explain_deadlock(self, what: str) -> str:
+        """Base watchdog message, enriched with the wait-for cycle when
+        the analyzer can derive one (never let the explainer mask the
+        deadlock itself)."""
+        base = (
+            f"rank {current_world_rank()} timed out after "
+            f"{self.timeout:.0f}s real time waiting for {what}"
+        )
+        try:
+            from repro.analyze.deadlock import explain_deadlock
+
+            detail = explain_deadlock(self)
+        except Exception:  # noqa: BLE001 - explainer must never mask
+            return base
+        return f"{base}\n{detail}" if detail else base
+
+    # -- wildcard-match safety gate ------------------------------------------
+
+    def note_blocked(self) -> None:
+        """A rank entered a blocked wait (or exited): bump the safety
+        epoch and wake every gated waiter so it re-evaluates.
+
+        Must be called with *no* Proc lock held by the caller: waking a
+        waiter takes that waiter's lock, and gated waiters never hold
+        their own lock while snapshotting peers, so the acquisition
+        graph stays acyclic.
+        """
+        with self._safety_lock:
+            self.safety_epoch += 1
+            waiters = list(self._safety_waiters)
+        for p in waiters:
+            with p.cond:
+                p.cond.notify_all()
+
+    def add_safety_waiter(self, proc: Proc) -> None:
+        """Register ``proc`` as sleeping in a gated wait: it will be
+        woken on every safety-epoch change until discarded."""
+        with self._safety_lock:
+            self._safety_waiters.add(proc)
+
+    def discard_safety_waiter(self, proc: Proc) -> None:
+        """Remove ``proc`` from the gated-sleeper set (wait finished)."""
+        with self._safety_lock:
+            self._safety_waiters.discard(proc)
+
+    def _rank_state(self, s: Proc, arrival: float):
+        """Classify ``s`` against an arrival bound: ``("safe", None)``,
+        ``("running", None)`` or ``("blocked", wakers)``.
+
+        Taken under ``s.lock`` (one peer at a time, caller holds no
+        lock) so the check "blocked with nothing queued that matches"
+        cannot race a concurrent delivery: deliveries run synchronously
+        inside ``send`` under the destination lock.
+        """
+        if s.done or s.clock >= arrival:
+            return ("safe", None)
+        with s.lock:
+            if s.done or s.clock >= arrival:
+                return ("safe", None)
+            desc = s.wait_desc
+            if desc is None:
+                return ("running", None)
+            if desc.kind == "collective":
+                if desc.stuck is not None and not desc.stuck():
+                    # Released (e.g. the collective completed) but not
+                    # rescheduled yet: it can proceed without a waker.
+                    return ("running", None)
+                return ("blocked", desc.senders)
+            # Mailbox wait: peek the waiter's lanes for its best queued
+            # candidate. No candidate -> it proceeds only via a waker.
+            # Best candidate at/after the bound -> still classifiable
+            # as blocked: whichever way it proceeds (matching that
+            # candidate, or an earlier one delivered by a safe sender)
+            # its clock lands at or past the bound. Best candidate
+            # before the bound -> it can act below the bound on its
+            # own; treat as running.
+            best = None
+            for cid, src, tg in desc.lanes:
+                mbox = s.mailbox.get(cid)
+                if mbox is None:
+                    continue
+                m = mbox.peek_match(src, tg, s.consumed)
+                if m is not None and (best is None or m.arrival < best):
+                    best = m.arrival
+            if best is not None and best < arrival:
+                return ("running", None)
+            return ("blocked", desc.senders)
+
+    def wildcard_safe(self, me: int, arrival: float, senders) -> bool:
+        """True when no potential sender can still produce a matching
+        message with an earlier arrival than ``arrival``.
+
+        A sender is *safe* when its clock already passed ``arrival``
+        (clocks are monotone and every send arrives strictly after the
+        sender's clock), when it exited, or when it is blocked and every
+        rank that could wake it is itself safe -- a greatest fixed
+        point, so a cycle of mutually-blocked ranks is safe (it can
+        never send). Stale lock-free clock reads only underestimate,
+        which is conservative. Safety is stable: once true it stays
+        true, so the caller may commit the match after re-taking its
+        own lock.
+        """
+        if senders is None:
+            need = [r for r in range(self.nprocs) if r != me]
+        else:
+            need = [r for r in senders if r != me]
+        procs = self.procs
+        if all(procs[r].done or procs[r].clock >= arrival for r in need):
+            return True
+        # Closure: classify every rank the verdict can depend on.
+        state: dict[int, tuple] = {me: ("safe", None)}
+        stack = list(need)
+        while stack:
+            r = stack.pop()
+            if r in state:
+                continue
+            st = self._rank_state(procs[r], arrival)
+            state[r] = st
+            if st[0] == "blocked":
+                wakers = st[1]
+                stack.extend(
+                    range(self.nprocs) if wakers is None else wakers
+                )
+        # Greatest fixed point: start from "every blocked rank is safe"
+        # and prune ranks reachable from a running one.
+        unsafe = {r for r, st in state.items() if st[0] == "running"}
+        changed = True
+        while changed:
+            changed = False
+            for r, st in state.items():
+                if r in unsafe or st[0] != "blocked":
+                    continue
+                wakers = st[1]
+                ws = range(self.nprocs) if wakers is None else wakers
+                if any(w in unsafe for w in ws if w != r):
+                    unsafe.add(r)
+                    changed = True
+        return not any(r in unsafe for r in need)
 
     # -- fault injection -----------------------------------------------------
 
@@ -318,9 +512,21 @@ class Engine:
             arrival=msg.arrival + decision.dup_delay,
             src_world=msg.src_world, sent_at=msg.sent_at,
             dup_of=msg.seq,
+            seq=self.next_msg_seq(self.procs[msg.src_world]),
         )
 
     # -- delivery ------------------------------------------------------------
+
+    def next_msg_seq(self, proc: Proc) -> int:
+        """Deterministic message id from the sender's own stream.
+
+        ``rank << 32 | n`` for the sender's ``n``-th post; assigned by
+        the sending thread only, so same-seed runs label every message
+        identically no matter how the OS interleaves rank threads.
+        """
+        seq = (proc.rank << 32) | proc.msg_seq
+        proc.msg_seq += 1
+        return seq
 
     def deliver(self, msg: Message) -> None:
         """Enqueue a message at its destination mailbox.
@@ -332,6 +538,12 @@ class Engine:
         dup = None
         if self.faults is not None:
             dup = self._inject_message_faults(msg)
+        # Pending-send table (message-leak analysis): the injected twin
+        # is not re-posted -- consuming either copy satisfies this entry.
+        self.obs.causal.post(
+            msg.seq, msg.src_world, msg.dst_world, msg.tag, msg.comm_id,
+            msg.nbytes, msg.sent_at, msg.arrival,
+        )
         dst = self.procs[msg.dst_world]
         with dst.cond:
             mbox = dst.mailbox.get(msg.comm_id)
@@ -385,6 +597,11 @@ class Engine:
                 pass  # secondary failure; the primary one is recorded
             except BaseException as exc:  # noqa: BLE001 - re-raised from run()
                 self.fail(exc)
+            finally:
+                # The rank will never send again: lagging wildcard
+                # matches gated on its clock may now proceed.
+                self.procs[rank].done = True
+                self.note_blocked()
 
         threads = [
             threading.Thread(target=runner, args=(r,), name=f"simmpi-rank-{r}",
@@ -409,6 +626,7 @@ class Engine:
             clocks=clocks,
             messages=self.n_messages,
             bytes_sent=self.n_bytes,
+            obs=self.obs,
         )
 
 

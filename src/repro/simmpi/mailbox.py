@@ -153,6 +153,18 @@ class CommMailbox:
             return None
         return self._buckets[key][0][2]
 
+    def match_candidates(self, source: int, tag: int,
+                         consumed) -> list[Message]:
+        """Live bucket heads matching ``(source, tag)`` -- the candidate
+        set a wildcard match chooses from, snapshot for the schedule-race
+        detector. Same heads :meth:`pop_match` compares."""
+        out = []
+        for key in self._candidate_keys(source, tag):
+            head = self._live_head(key, consumed)
+            if head is not None:
+                out.append(head[2])
+        return out
+
     def has_live(self, consumed) -> bool:
         """True when any non-dead message is queued (serve-loop wake
         predicate); purges dead bucket heads as a side effect."""

@@ -1,0 +1,55 @@
+"""``python -m repro.tools lint`` -- the ANL00x virtual-time lint.
+
+Thin CLI over :mod:`repro.analyze.lint`: lints the given files and
+directory trees (default: the repo's ``src``, ``examples`` and
+``benchmarks`` when run from a checkout) and prints one
+``path:line:col: CODE message`` line per violation. Exit status 1
+when anything is found.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+
+def _default_paths() -> list[str]:
+    """src/ + examples/ + benchmarks/ relative to the checkout root."""
+    here = os.getcwd()
+    out = [p for p in ("src", "examples", "benchmarks")
+           if os.path.isdir(os.path.join(here, p))]
+    return out or ["."]
+
+
+def run(args) -> int:
+    """Entry point for the ``lint`` subcommand."""
+    from repro.analyze.lint import RULES, lint_paths
+
+    paths = args.paths or _default_paths()
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+    violations = lint_paths(paths)
+    for v in violations:
+        print(v.render())
+    if violations:
+        print(f"{len(violations)} violation(s) in {len(paths)} path(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint clean: {', '.join(paths)}")
+    return 0
+
+
+def add_parser(sub) -> None:
+    """Register the ``lint`` subcommand on ``sub``."""
+    p = sub.add_parser(
+        "lint",
+        help="run the ANL00x virtual-time lint rules over source trees",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: src examples "
+                        "benchmarks under the current directory)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule table and exit")
+    p.set_defaults(run=run)

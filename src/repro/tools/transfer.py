@@ -50,18 +50,24 @@ def import_store(directory: str, store: PFSStore | None = None) -> PFSStore:
 
 def main(argv=None) -> int:
     """``python -m repro.tools h5dump|h5ls <dir> <file>``,
-    ``python -m repro.tools trace <out.json>`` or
-    ``python -m repro.tools critpath [--strict ...]``."""
+    ``python -m repro.tools trace <out.json>``,
+    ``python -m repro.tools critpath [--strict ...]``,
+    ``python -m repro.tools analyze [--example fig5 ...]`` or
+    ``python -m repro.tools lint [paths ...]``."""
     import argparse
 
+    from repro.tools.analyze import add_parser as add_analyze
     from repro.tools.critpath import add_parser as add_critpath
     from repro.tools.inspect import h5dump, h5ls
+    from repro.tools.lint import add_parser as add_lint
 
     ap = argparse.ArgumentParser(
         prog="repro.tools",
         description="Inspect native-format files exported from a "
                     "simulated PFS, export a demo run as a Chrome "
-                    "trace, or run the causal critical-path analysis.",
+                    "trace, run the causal critical-path analysis, "
+                    "check a schedule for races, or lint virtual-time "
+                    "code.",
     )
     sub = ap.add_subparsers(dest="command", required=True)
     for cmd, fn in (("h5ls", h5ls), ("h5dump", h5dump)):
@@ -83,9 +89,11 @@ def main(argv=None) -> int:
     pt.add_argument("--mode", choices=["memory", "file", "both"],
                     default="memory", help="LowFive transport mode")
     add_critpath(sub)
+    add_analyze(sub)
+    add_lint(sub)
     args = ap.parse_args(argv)
 
-    if args.command == "critpath":
+    if args.command in ("critpath", "analyze", "lint"):
         return args.run(args)
 
     if args.command == "trace":

@@ -1,0 +1,71 @@
+"""Collective-mismatch and message-leak checkers."""
+
+from repro.analyze import analyze_obs, check_collectives, check_leaks
+from repro.simmpi import run_world
+from tests.analyze.tracestub import StubObs, coll, post
+
+
+class TestCollectives:
+    def test_matching_kinds_pass(self):
+        obs = StubObs(collectives=[
+            coll(0, {0: 1.0, 1: 1.1}, t_end=1.2,
+                 kinds={0: "barrier", 1: "barrier"})])
+        assert check_collectives(obs) == []
+
+    def test_mismatched_kinds_flagged_with_rank_groups(self):
+        obs = StubObs(collectives=[
+            coll(0, {0: 1.0, 1: 1.1, 2: 1.0}, t_end=1.2,
+                 kinds={0: "barrier", 1: "bcast", 2: "barrier"})])
+        findings = check_collectives(obs)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.kind == "collective-mismatch"
+        assert f.detail["kinds"] == {0: "barrier", 1: "bcast",
+                                     2: "barrier"}
+        assert "barrier on ranks [0, 2]" in f.summary
+        assert "bcast on ranks [1]" in f.summary
+
+    def test_real_run_collectives_agree(self):
+        def main(comm):
+            comm.barrier()
+            comm.allreduce(comm.rank)
+            return None
+
+        res = run_world(3, main, timeout=30.0)
+        assert check_collectives(res.obs) == []
+
+
+class TestLeaks:
+    def test_unreceived_message_reported(self):
+        obs = StubObs(posts=[post(5, src=1, dst=0, t_post=0.5)],
+                      consumed=())
+        findings = check_leaks(obs)
+        assert len(findings) == 1
+        assert findings[0].kind == "message-leak"
+        assert findings[0].rank == 1
+        assert findings[0].detail["msg_id"] == 5
+
+    def test_real_leak_detected_at_finalize(self):
+        """A send nobody receives shows up in the pending-send table."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("orphan", dest=1, tag=99)
+            comm.barrier()
+            return None
+
+        res = run_world(2, main, timeout=30.0)
+        findings = analyze_obs(res.obs)
+        leaks = [f for f in findings if f.kind == "message-leak"]
+        assert len(leaks) == 1
+        assert "tag 99" in leaks[0].summary
+
+    def test_clean_exchange_has_no_leaks(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=1)
+                return None
+            return comm.recv(source=0, tag=1)[0]
+
+        res = run_world(2, main, timeout=30.0)
+        assert check_leaks(res.obs) == []

@@ -1,0 +1,78 @@
+"""Same-seed attribution determinism (the schedule-analysis payoff).
+
+The wait-state attribution used to wobble across same-seed runs: serve
+loops raced on real-thread match order, accounts summed in dict order,
+and span ties broke on ids. The serve-loop global-minimum selection,
+the wildcard safety gate and per-sender message ids make the whole
+pipeline a pure function of the seed; these tests pin that, with the
+thread switch interval cranked down so the OS interleaves rank threads
+as aggressively as it can.
+"""
+
+import json
+import sys
+
+import pytest
+
+from repro.analyze import analyze_obs
+from repro.bench.drivers import run_lowfive_file, run_lowfive_memory
+from repro.synth import SyntheticWorkload
+
+
+@pytest.fixture(autouse=True)
+def aggressive_switching():
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(old)
+
+
+def small_wl():
+    return SyntheticWorkload(grid_points_per_proc=2000,
+                             particles_per_proc=1000)
+
+
+def fingerprint(res):
+    """Everything attribution-shaped, as one canonical JSON blob."""
+    return json.dumps(
+        {"vtime": res.vtime, "messages": res.messages,
+         "bytes": res.bytes_sent, "attribution": res.attribution},
+        sort_keys=True)
+
+
+class TestSameSeedSameLedgers:
+    def test_memory_mode_attribution_is_byte_identical(self):
+        runs = [run_lowfive_memory(2, 2, small_wl()) for _ in range(3)]
+        prints = [fingerprint(r) for r in runs]
+        assert prints[0] == prints[1] == prints[2]
+
+    def test_file_mode_attribution_is_byte_identical(self):
+        runs = [run_lowfive_file(2, 2, small_wl()) for _ in range(2)]
+        assert fingerprint(runs[0]) == fingerprint(runs[1])
+
+
+class TestAnalyzerDeterminism:
+    def test_findings_and_trace_identical_across_runs(self):
+        """Message ids are per-sender streams, so even the raw causal
+        trace (posts, matches, candidate sets) replays identically."""
+        from repro.bench.drivers import _lowfive_wf, _check
+        from repro.perfmodel.transports import THETA_KNL
+        from repro.pfs import PFSStore
+
+        def one():
+            wf = _lowfive_wf(2, 2, small_wl(), THETA_KNL, "memory",
+                             PFSStore())
+            res = wf.run(model=THETA_KNL.net, timeout=120.0)
+            assert _check(res.returns["consumer"])
+            causal = res.obs.causal
+            return {
+                "posts": [(p.msg_id, p.src, p.dst, p.tag, p.t_post,
+                           p.t_arrival) for p in causal.posts()],
+                "matches": [(m.dst, m.msg_id, m.t_match, m.candidates)
+                            for m in causal.matches()],
+                "findings": [f.to_dict() for f in analyze_obs(res.obs)],
+            }
+
+        a, b = one(), one()
+        assert a == b
+        assert a["findings"] == []

@@ -1,0 +1,152 @@
+"""ANL00x lint rules: detection, suppression, allowlists."""
+
+from repro.analyze.lint import (
+    DEFAULT_ALLOWLIST,
+    RULES,
+    lint_paths,
+    lint_source,
+)
+
+
+def codes(src, path="x.py", skip=frozenset()):
+    return [v.code for v in lint_source(src, path, skip)]
+
+
+class TestWallClock:
+    def test_time_module_calls_flagged(self):
+        src = ("import time\n"
+               "def f():\n"
+               "    return time.monotonic() + time.perf_counter()\n")
+        assert codes(src) == ["ANL001", "ANL001"]
+
+    def test_from_import_alias_resolved(self):
+        src = ("from time import perf_counter as pc\n"
+               "def f():\n"
+               "    return pc()\n")
+        assert codes(src) == ["ANL001"]
+
+    def test_datetime_now_flagged(self):
+        src = ("import datetime\n"
+               "def f():\n"
+               "    return datetime.datetime.now()\n")
+        assert codes(src) == ["ANL001"]
+
+    def test_virtual_time_calls_pass(self):
+        src = ("def f(comm):\n"
+               "    comm.compute(1e-3)\n"
+               "    return comm.clock\n")
+        assert codes(src) == []
+
+
+class TestRequests:
+    def test_discarded_request_flagged(self):
+        src = ("def f(comm):\n"
+               "    comm.isend(1, dest=0)\n")
+        assert codes(src) == ["ANL002"]
+
+    def test_never_waited_name_flagged(self):
+        src = ("def f(comm):\n"
+               "    r = comm.irecv(source=0)\n"
+               "    return None\n")
+        assert codes(src) == ["ANL002"]
+
+    def test_waited_request_passes(self):
+        src = ("def f(comm):\n"
+               "    r = comm.irecv(source=0)\n"
+               "    return r.wait()\n")
+        assert codes(src) == []
+
+    def test_tested_request_passes(self):
+        src = ("def f(comm):\n"
+               "    r = comm.isend(1, dest=0)\n"
+               "    while not r.test():\n"
+               "        pass\n")
+        assert codes(src) == []
+
+    def test_escaping_request_passes(self):
+        src = ("def f(comm, reqs):\n"
+               "    r = comm.isend(1, dest=0)\n"
+               "    reqs.append(r)\n"
+               "    s = comm.isend(2, dest=1)\n"
+               "    return s\n")
+        assert codes(src) == []
+
+
+class TestThreading:
+    def test_thread_and_event_flagged(self):
+        src = ("import threading\n"
+               "def f():\n"
+               "    t = threading.Thread(target=f)\n"
+               "    e = threading.Event()\n"
+               "    return t, e\n")
+        assert codes(src) == ["ANL003", "ANL003"]
+
+    def test_locks_are_allowed(self):
+        src = ("import threading\n"
+               "def f():\n"
+               "    return threading.Lock(), threading.RLock()\n")
+        assert codes(src) == []
+
+    def test_engine_allowlist_covers_engine_file(self):
+        src = ("import threading\n"
+               "def f():\n"
+               "    return threading.Condition()\n")
+        skip = frozenset(
+            c for c, suffixes in DEFAULT_ALLOWLIST.items()
+            if any("src/repro/simmpi/engine.py".endswith(s)
+                   for s in suffixes))
+        assert codes(src, "src/repro/simmpi/engine.py", skip) == []
+
+
+class TestClockEquality:
+    def test_clock_equality_flagged(self):
+        src = ("def f(self, other):\n"
+               "    return self.clock == other.clock\n")
+        assert codes(src) == ["ANL004"]
+
+    def test_vtime_inequality_flagged(self):
+        src = ("def f(a_vtime, b):\n"
+               "    return a_vtime != b\n")
+        assert codes(src) == ["ANL004"]
+
+    def test_clock_comparison_with_tolerance_passes(self):
+        src = ("def f(self, other, tol):\n"
+               "    return abs(self.clock - other.clock) < tol\n")
+        assert codes(src) == []
+
+
+class TestSuppression:
+    def test_noqa_with_code_suppresses(self):
+        src = ("import time\n"
+               "def f():\n"
+               "    return time.monotonic()  # noqa: ANL001\n")
+        assert codes(src) == []
+
+    def test_bare_noqa_suppresses_everything(self):
+        src = ("import time\n"
+               "def f():\n"
+               "    return time.monotonic()  # noqa\n")
+        assert codes(src) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = ("import time\n"
+               "def f():\n"
+               "    return time.monotonic()  # noqa: ANL003\n")
+        assert codes(src) == ["ANL001"]
+
+
+class TestRepoIsClean:
+    def test_src_examples_benchmarks_lint_clean(self):
+        """The acceptance gate: zero custom-lint violations on the
+        tree, with only the documented allowlist."""
+        import os
+
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        paths = [os.path.join(root, d)
+                 for d in ("src", "examples", "benchmarks")]
+        violations = lint_paths(paths)
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_rule_table_is_complete(self):
+        assert set(RULES) == {"ANL001", "ANL002", "ANL003", "ANL004"}

@@ -1,0 +1,83 @@
+"""A hand-built causal trace for analyzer unit tests.
+
+The dynamic analyzers consume only the recorder's *read* API
+(``posts()``, ``edges()``, ``collectives()``, ``matches()``,
+``consumed_ids()``), so fixtures can assemble the real record
+dataclasses directly and skip running a simulation -- mismatched
+collectives and forged inconsistent traces are states a healthy run
+cannot even produce.
+"""
+
+from repro.obs.causal import (
+    CollectiveRecord,
+    FlowEdge,
+    MatchRecord,
+    PendingSend,
+)
+
+
+def post(msg_id, src, dst, t_post, tag=0, comm_id=1, nbytes=8,
+         t_arrival=None):
+    return PendingSend(msg_id=msg_id, src=src, dst=dst, tag=tag,
+                       comm_id=comm_id, nbytes=nbytes, t_post=t_post,
+                       t_arrival=t_post if t_arrival is None
+                       else t_arrival)
+
+
+def edge(msg_id, src, dst, t_recv, tag=0, comm_id=1, nbytes=8,
+         t_post=0.0, t_arrival=None):
+    arr = t_recv if t_arrival is None else t_arrival
+    return FlowEdge(msg_id=msg_id, src=src, dst=dst, tag=tag,
+                    comm_id=comm_id, nbytes=nbytes, t_post=t_post,
+                    t_arrival=arr, t_recv_start=arr, t_recv=t_recv)
+
+
+def match(dst, msg_id, t_match, candidates, source=-1, tag=0, comm_id=1):
+    return MatchRecord(dst=dst, comm_id=comm_id, source=source, tag=tag,
+                       msg_id=msg_id, t_match=t_match,
+                       candidates=tuple(candidates))
+
+
+def coll(coll_id, enter_clocks, t_end, kind="barrier", comm_id=1,
+         kinds=None):
+    return CollectiveRecord(
+        coll_id=coll_id, kind=kind, comm_id=comm_id, nbytes=0,
+        enter_clocks=dict(enter_clocks),
+        t_ready=max(enter_clocks.values()), t_end=t_end,
+        straggler=max(enter_clocks, key=enter_clocks.__getitem__),
+        kinds={} if kinds is None else dict(kinds),
+    )
+
+
+class StubCausal:
+    def __init__(self, posts=(), edges=(), collectives=(), matches=(),
+                 consumed=()):
+        self._posts = list(posts)
+        self._edges = list(edges)
+        self._colls = list(collectives)
+        self._matches = list(matches)
+        self._consumed = set(consumed)
+
+    def posts(self):
+        return list(self._posts)
+
+    def edges(self):
+        return list(self._edges)
+
+    def collectives(self):
+        return list(self._colls)
+
+    def matches(self):
+        return list(self._matches)
+
+    def consumed_ids(self):
+        return set(self._consumed)
+
+
+class StubObs:
+    """Duck-typed ``Observability`` carrying only the causal trace."""
+
+    def __init__(self, posts=(), edges=(), collectives=(), matches=(),
+                 consumed=()):
+        self.causal = StubCausal(posts, edges, collectives, matches,
+                                 consumed)
