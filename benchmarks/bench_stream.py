@@ -1,0 +1,346 @@
+#!/usr/bin/env python
+"""Streaming-pipeline benchmark: reduction sweep + backpressure probe.
+
+``python benchmarks/bench_stream.py --output BENCH_stream.json``
+sweeps a multi-epoch streaming pipeline (``repro.stream``) over total
+rank counts P and wire-reduction levels, recording bytes-on-wire and
+virtual makespan for each point, plus:
+
+- a *direct* per-epoch baseline (plain ``serve_on_close`` file cycle,
+  no streaming machinery) at every P -- level 0 must read
+  bit-identical data (checked by digest) while moving the same bytes;
+- bytes-on-wire must decrease strictly monotonically with the
+  reduction level at every P;
+- a 2x rate-mismatch run (consumer twice slower than the producer):
+  the live-epoch window must stay bounded by ``max_lag`` and the
+  producer's backpressure waits must be attributed to the lagging
+  consumer ranks in the causal report.
+
+Invariant violations always exit nonzero. With ``--check-ref`` the
+virtual fields are additionally compared against the committed
+reference (``benchmarks/BENCH_stream_ref.json``); any drift exits
+nonzero. Wall seconds are recorded for information only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+#: Bump when the document layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Virtual fields that must be bit-identical across perf-only changes.
+VIRTUAL_FIELDS = ("vtime", "messages", "bytes_sent")
+
+DEFAULT_REF = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "BENCH_stream_ref.json")
+
+SHAPE = (24, 16)
+
+
+def _epoch_values(sel, shape, epoch):
+    import numpy as np
+
+    from repro.synth import grid_values
+
+    return grid_values(sel, shape) + np.uint64(1000 * epoch)
+
+
+def _digest(parts) -> str:
+    """Combine per-rank digests (rank order) into one run digest."""
+    h = hashlib.blake2b(digest_size=16)
+    for p in parts:
+        h.update(p.encode())
+    return h.hexdigest()
+
+
+def run_stream(nprod, ncons, nsteps, *, level=0, max_lag=2,
+               producer_compute=0.0, consumer_compute=0.0):
+    """Streaming pipeline run; returns (result, data digest)."""
+    import numpy as np
+
+    from repro.h5.native import NativeVOL
+    import repro.h5 as h5
+    from repro.lowfive import DistMetadataVOL, StreamConfig
+    from repro.lowfive.config import CostConfig
+    from repro.pfs import PFSStore
+    from repro.synth import consumer_grid_selection, producer_grid_selection
+    from repro.workflow import Workflow
+
+    costs = CostConfig(reduction_level=level)
+
+    def make_vol(ctx):
+        return ctx.singleton("vol", lambda: DistMetadataVOL(
+            comm=ctx.comm, under=NativeVOL(PFSStore()), costs=costs))
+
+    def producer(ctx):
+        vol = make_vol(ctx)
+        cfg = StreamConfig(max_lag=max_lag)
+        with ctx.stream_producer("consumer", "sim", vol, cfg) as prod:
+            for step in range(nsteps):
+                if producer_compute:
+                    ctx.comm.compute(producer_compute)
+                with prod.epoch() as f:
+                    d = f.create_dataset("grid", shape=SHAPE,
+                                         dtype=h5.UINT64)
+                    sel = producer_grid_selection(SHAPE, ctx.rank,
+                                                  ctx.size)
+                    d.write(_epoch_values(sel, SHAPE, step),
+                            file_select=sel)
+        return True
+
+    def consumer(ctx):
+        vol = make_vol(ctx)
+        h = hashlib.blake2b(digest_size=16)
+        with ctx.stream_consumer("producer", "sim", vol) as cons:
+            for ep in cons.epochs():
+                with ep:
+                    sel = consumer_grid_selection(SHAPE, ctx.rank,
+                                                  ctx.size)
+                    vals = np.asarray(ep.file["grid"].read(
+                        sel, reshape=False))
+                    h.update(vals.tobytes())
+                if consumer_compute:
+                    ctx.comm.compute(consumer_compute)
+        return h.hexdigest()
+
+    wf = Workflow()
+    wf.add_task("producer", nprod, producer)
+    wf.add_task("consumer", ncons, consumer)
+    wf.add_link("producer", "consumer")
+    res = wf.run(timeout=600.0)
+    return res, _digest(res.returns["consumer"])
+
+
+def run_direct(nprod, ncons, nsteps):
+    """Per-epoch direct baseline: write/serve one file per epoch."""
+    import numpy as np
+
+    from repro.h5.native import NativeVOL
+    import repro.h5 as h5
+    from repro.lowfive import DistMetadataVOL
+    from repro.pfs import PFSStore
+    from repro.stream import epoch_fname, stream_pattern
+    from repro.synth import consumer_grid_selection, producer_grid_selection
+    from repro.workflow import Workflow
+
+    pattern = stream_pattern("sim")
+
+    def make_vol(ctx, role):
+        def factory():
+            vol = DistMetadataVOL(comm=ctx.comm,
+                                  under=NativeVOL(PFSStore()))
+            vol.set_memory(pattern)
+            if role == "producer":
+                vol.serve_on_close(pattern, ctx.intercomm("consumer"))
+            else:
+                vol.set_consumer(pattern, ctx.intercomm("producer"))
+            return vol
+
+        return ctx.singleton("vol", factory)
+
+    def producer(ctx):
+        vol = make_vol(ctx, "producer")
+        for step in range(nsteps):
+            f = h5.File(epoch_fname("sim", step), "w", comm=ctx.comm,
+                        vol=vol)
+            d = f.create_dataset("grid", shape=SHAPE, dtype=h5.UINT64)
+            sel = producer_grid_selection(SHAPE, ctx.rank, ctx.size)
+            d.write(_epoch_values(sel, SHAPE, step), file_select=sel)
+            f.close()  # serves this epoch's consumers before returning
+        return True
+
+    def consumer(ctx):
+        vol = make_vol(ctx, "consumer")
+        h = hashlib.blake2b(digest_size=16)
+        for step in range(nsteps):
+            f = h5.File(epoch_fname("sim", step), "r", comm=ctx.comm,
+                        vol=vol)
+            sel = consumer_grid_selection(SHAPE, ctx.rank, ctx.size)
+            vals = np.asarray(f["grid"].read(sel, reshape=False))
+            h.update(vals.tobytes())
+            f.close()
+        return h.hexdigest()
+
+    wf = Workflow()
+    wf.add_task("producer", nprod, producer)
+    wf.add_task("consumer", ncons, consumer)
+    wf.add_link("producer", "consumer")
+    res = wf.run(timeout=600.0)
+    return res, _digest(res.returns["consumer"])
+
+
+def _record(workload, nprocs, wall, res, **extra):
+    rec = {
+        "workload": workload,
+        "nprocs": nprocs,
+        "wall_seconds": wall,
+        "vtime": res.vtime,
+        "messages": res.messages,
+        "bytes_sent": res.bytes_sent,
+    }
+    rec.update(extra)
+    return rec
+
+
+def run_suite(procs, levels, nsteps, max_lag):
+    """Execute the sweep; returns (records, invariant problems)."""
+    runs = []
+    problems = []
+    for P in procs:
+        nprod = max(1, P // 2)
+        ncons = max(1, P - nprod)
+        t0 = time.perf_counter()
+        res, direct_digest = run_direct(nprod, ncons, nsteps)
+        runs.append(_record(f"stream/direct/P{P}", P,
+                            time.perf_counter() - t0, res,
+                            digest=direct_digest))
+        by_level = {}
+        for level in levels:
+            t0 = time.perf_counter()
+            res, digest = run_stream(nprod, ncons, nsteps, level=level,
+                                     max_lag=max_lag)
+            by_level[level] = res.bytes_sent
+            runs.append(_record(f"stream/level{level}/P{P}", P,
+                                time.perf_counter() - t0, res,
+                                reduction_level=level, digest=digest,
+                                max_depth=res.obs.stream.max_depth()))
+            if level == 0 and digest != direct_digest:
+                problems.append(
+                    f"P{P}: level-0 stream digest {digest} != direct "
+                    f"baseline {direct_digest} (must be bit-identical)")
+        ordered = [by_level[lv] for lv in sorted(by_level)]
+        if any(a <= b for a, b in zip(ordered, ordered[1:])):
+            problems.append(
+                f"P{P}: bytes on wire not strictly decreasing with "
+                f"reduction level: {ordered}")
+    return runs, problems
+
+
+def run_rate_mismatch(nsteps, max_lag):
+    """2x-slower consumer: bounded depth + attributed backpressure."""
+    t0 = time.perf_counter()
+    res, _ = run_stream(2, 2, nsteps, level=0, max_lag=max_lag,
+                        producer_compute=0.01, consumer_compute=0.02)
+    wall = time.perf_counter() - t0
+    rep = res.causal_report()
+    bp = [w for w in rep.waits if w.category == "backpressure"]
+    depth = res.obs.stream.max_depth("sim")
+    problems = []
+    if depth > max_lag:
+        problems.append(f"rate-mismatch: max depth {depth} exceeds "
+                        f"max_lag {max_lag}")
+    consumer_worlds = {2, 3}  # ranks of the consumer task (2 prod + 2 cons)
+    causes = {w.cause_rank for w in bp}
+    if not bp:
+        problems.append("rate-mismatch: no backpressure waits recorded")
+    elif not causes <= consumer_worlds:
+        problems.append(f"rate-mismatch: backpressure attributed to "
+                        f"{sorted(causes)}, expected a subset of "
+                        f"consumer ranks {sorted(consumer_worlds)}")
+    rec = _record("stream/rate_mismatch/P4", 4, wall, res,
+                  max_depth=depth, max_lag=max_lag,
+                  backpressure_seconds=sum(w.seconds for w in bp),
+                  backpressure_cause_ranks=sorted(causes))
+    return rec, problems
+
+
+def compare(runs, ref):
+    """Drift problems vs the reference document."""
+    problems = []
+    compared = False
+    ref_runs = {r["workload"]: r for r in ref.get("runs", [])}
+    for run in runs:
+        base = ref_runs.get(run["workload"])
+        if base is None:
+            continue
+        compared = True
+        for fieldname in VIRTUAL_FIELDS:
+            if run[fieldname] != base[fieldname]:
+                problems.append(
+                    f"{run['workload']}: {fieldname} drifted "
+                    f"{base[fieldname]!r} -> {run[fieldname]!r}")
+        if base.get("digest") and run.get("digest") != base["digest"]:
+            problems.append(f"{run['workload']}: data digest drifted")
+    return problems, compared
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    ap.add_argument("--output", default="BENCH_stream.json",
+                    help="output path (default BENCH_stream.json)")
+    ap.add_argument("--procs", type=int, nargs="+",
+                    default=(4, 16, 64),
+                    help="total ranks per sweep point (default 4 16 64)")
+    ap.add_argument("--levels", type=int, nargs="+", default=(0, 1, 2),
+                    help="reduction levels to sweep (default 0 1 2)")
+    ap.add_argument("--nsteps", type=int, default=3,
+                    help="epochs per run (default 3)")
+    ap.add_argument("--max-lag", type=int, default=2,
+                    help="live-epoch window bound (default 2)")
+    ap.add_argument("--ref", default=DEFAULT_REF,
+                    help="reference document for the drift gate")
+    ap.add_argument("--check-ref", action="store_true",
+                    help="exit nonzero when any virtual field drifts "
+                         "from the reference")
+    args = ap.parse_args(argv)
+
+    runs, problems = run_suite(args.procs, args.levels, args.nsteps,
+                               args.max_lag)
+    rec, mismatch_problems = run_rate_mismatch(args.nsteps * 2,
+                                               args.max_lag)
+    runs.append(rec)
+    problems += mismatch_problems
+
+    drift: list[str] = []
+    if os.path.exists(args.ref):
+        with open(args.ref) as f:
+            ref_doc = json.load(f)
+        ref_params = ref_doc.get("params", {})
+        our_params = {"procs": list(args.procs),
+                      "levels": list(args.levels),
+                      "nsteps": args.nsteps, "max_lag": args.max_lag}
+        if all(ref_params.get(k) == v for k, v in our_params.items()):
+            drift, compared = compare(runs, ref_doc)
+            if args.check_ref and not compared:
+                drift.append("reference matched no workloads")
+        elif args.check_ref:
+            drift.append(
+                f"reference params {ref_params} do not cover this run "
+                f"({our_params}); cannot check drift")
+    elif args.check_ref:
+        drift.append(f"reference {args.ref} not found")
+
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "params": {"procs": list(args.procs),
+                   "levels": list(args.levels),
+                   "nsteps": args.nsteps, "max_lag": args.max_lag,
+                   "shape": list(SHAPE)},
+        "runs": runs,
+    }
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    for run in runs:
+        print(f"{run['workload']:28s} {run['wall_seconds']:7.2f}s "
+              f"vtime={run['vtime']:.6g} bytes={run['bytes_sent']}")
+    print(f"wrote {args.output}: {len(runs)} runs, "
+          f"schema v{SCHEMA_VERSION}")
+    for p in problems:
+        print(f"ERROR: {p}", file=sys.stderr)
+    for p in drift:
+        print(f"ERROR: {p}", file=sys.stderr)
+    if problems:
+        return 1  # invariant violations always fail
+    return 1 if (drift and args.check_ref) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

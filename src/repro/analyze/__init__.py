@@ -5,7 +5,7 @@ Two halves, one purpose: trust the simulated schedules.
 **Dynamic** (needs a recorded run's ``Observability``): vector clocks
 derived from the causal trace (:mod:`repro.analyze.vclock`), a
 wildcard-receive race detector (:mod:`repro.analyze.races`),
-collective-mismatch and message-leak checks
+collective-mismatch, message-leak and stream-epoch-leak checks
 (:mod:`repro.analyze.checks`), and a wait-for-graph deadlock explainer
 (:mod:`repro.analyze.deadlock`) that the engine folds into every
 ``DeadlockError``. :func:`analyze_obs` runs the full battery.
@@ -20,10 +20,15 @@ Command line: ``python -m repro.tools analyze`` / ``... lint``.
 
 from __future__ import annotations
 
-from repro.analyze.checks import check_collectives, check_leaks
+from repro.analyze.checks import (
+    check_collectives,
+    check_leaks,
+    check_stream_leaks,
+)
 from repro.analyze.deadlock import explain_deadlock, find_cycle, wait_for_graph
 from repro.analyze.finding import (
     COLLECTIVE_MISMATCH,
+    EPOCH_LEAK,
     FINDING_KINDS,
     Finding,
     MESSAGE_LEAK,
@@ -42,6 +47,7 @@ from repro.analyze.vclock import (
 
 __all__ = [
     "COLLECTIVE_MISMATCH",
+    "EPOCH_LEAK",
     "FINDING_KINDS",
     "Finding",
     "HBRelation",
@@ -54,6 +60,7 @@ __all__ = [
     "build_happens_before",
     "check_collectives",
     "check_leaks",
+    "check_stream_leaks",
     "concurrent",
     "explain_deadlock",
     "find_cycle",
@@ -69,13 +76,14 @@ __all__ = [
 def analyze_obs(obs, nranks: int | None = None) -> list[Finding]:
     """Run every dynamic check over one recorded run.
 
-    Returns all findings -- wildcard races, collective mismatches and
-    message leaks -- sorted by (kind, rank, summary) so repeated
-    analyses of the same trace render identically.
+    Returns all findings -- wildcard races, collective mismatches,
+    message leaks and stream epoch leaks -- sorted by (kind, rank,
+    summary) so repeated analyses of the same trace render identically.
     """
     hb = build_happens_before(obs, nranks)
     findings = (find_races(obs, nranks, hb=hb)
                 + check_collectives(obs)
-                + check_leaks(obs))
+                + check_leaks(obs)
+                + check_stream_leaks(obs))
     findings.sort(key=lambda f: (f.kind, f.rank, f.summary))
     return findings

@@ -13,6 +13,11 @@ enforce:
   receives it, so a mismatched tag or a forgotten receive leaks the
   message without any error. :func:`check_leaks` reports every entry
   of the pending-send table never satisfied by a matching receive.
+- a retained stream epoch the holder never releases stays live on the
+  producer for the rest of the stream -- the producer cannot retire it
+  and its memory is pinned. :func:`check_stream_leaks` reports every
+  epoch a consumer rank acquired but never covered with a release
+  high-water mark.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from typing import Any
 
 from repro.analyze.finding import (
     COLLECTIVE_MISMATCH,
+    EPOCH_LEAK,
     Finding,
     MESSAGE_LEAK,
     msg_label,
@@ -63,5 +69,30 @@ def check_leaks(obs: Any) -> list[Finding]:
             {"msg_id": p.msg_id, "src": p.src, "dst": p.dst,
              "comm_id": p.comm_id, "tag": p.tag, "nbytes": p.nbytes,
              "t_post": p.t_post, "t_arrival": p.t_arrival},
+        ))
+    return findings
+
+
+def check_stream_leaks(obs: Any) -> list[Finding]:
+    """Report stream epochs acquired but never released.
+
+    Reads the :class:`~repro.obs.streamstat.StreamLedger`: an epoch a
+    consumer rank acquired whose id exceeds that rank's cumulative
+    release high-water mark is retained forever -- the producer keeps
+    it live (and its memory pinned) for the rest of the stream.
+    Typically a consumer that called ``Epoch.retain()`` and exited
+    without the matching ``release()``.
+    """
+    ledger = getattr(obs, "stream", None)
+    if ledger is None:
+        return []
+    findings: list[Finding] = []
+    for stream, epoch, rank in ledger.open_acquisitions():
+        findings.append(Finding(
+            EPOCH_LEAK, rank,
+            f"stream {stream!r} epoch {epoch} was acquired by rank "
+            f"{rank} and never released (the producer retains it for "
+            "the rest of the stream)",
+            {"stream": stream, "epoch": epoch, "rank": rank},
         ))
     return findings

@@ -11,9 +11,12 @@ WILDCARD_RACE = "wildcard-race"
 COLLECTIVE_MISMATCH = "collective-mismatch"
 #: A posted message no receive ever matched by finalize.
 MESSAGE_LEAK = "message-leak"
+#: A stream epoch acquired by a consumer rank and never released.
+EPOCH_LEAK = "epoch-leak"
 
 #: Every finding kind the dynamic analyzers can emit.
-FINDING_KINDS = (WILDCARD_RACE, COLLECTIVE_MISMATCH, MESSAGE_LEAK)
+FINDING_KINDS = (WILDCARD_RACE, COLLECTIVE_MISMATCH, MESSAGE_LEAK,
+                 EPOCH_LEAK)
 
 
 def msg_label(msg_id: int) -> str:

@@ -22,7 +22,10 @@ Fault taxonomy (see DESIGN.md "Fault injection & recovery"):
   multipliers folded into :class:`~repro.pfs.lustre.LustreModel`;
 - **RPC losses** (:class:`RpcFaultRule`): request attempts are dropped
   before reaching the network, exercising
-  :class:`~repro.lowfive.rpc.RPCClient` timeout/retry/backoff.
+  :class:`~repro.lowfive.rpc.RPCClient` timeout/retry/backoff;
+- **compute slowdowns** (:class:`ComputeSlowRule`): a rank's local work
+  is stretched by a constant factor -- the deterministic way to make a
+  streaming consumer lag its producer and trigger backpressure.
 
 Every injected fault is counted in ``repro.obs`` metrics
 (``faults.injected{kind=...}``) and annotated as an instant event in
@@ -30,6 +33,7 @@ the exported Perfetto trace.
 """
 
 from repro.faults.plan import (
+    ComputeSlowRule,
     CrashRule,
     FaultPlan,
     MessageDecision,
@@ -42,6 +46,7 @@ __all__ = [
     "FaultPlan",
     "MessageFaultRule",
     "MessageDecision",
+    "ComputeSlowRule",
     "CrashRule",
     "OstSlowRule",
     "RpcFaultRule",

@@ -85,6 +85,24 @@ class CrashRule:
 
 
 @dataclass(frozen=True)
+class ComputeSlowRule:
+    """Stretch every ``compute`` of ``rank`` by ``factor``.
+
+    A persistently slow rank: its local work takes ``factor`` times the
+    nominal virtual seconds. The canonical way to make one streaming
+    consumer lag its producer deterministically -- no user-code changes,
+    the slowdown rides on the plan like every other fault.
+    """
+
+    rank: int
+    factor: float
+
+    def __post_init__(self):
+        if self.factor <= 0:
+            raise ValueError("factor must be > 0")
+
+
+@dataclass(frozen=True)
 class OstSlowRule:
     """Degrade OST ``ost`` to ``factor`` of its nominal bandwidth."""
 
@@ -125,7 +143,7 @@ class FaultPlan:
     seed:
         Root of the decision PRF; equal seeds (with equal rules) replay
         identical faults.
-    messages, crashes, osts, rpcs:
+    messages, crashes, osts, rpcs, slowdowns:
         Declarative rule lists (see the rule dataclasses).
     """
 
@@ -133,12 +151,15 @@ class FaultPlan:
                  messages: tuple | list = (),
                  crashes: tuple | list = (),
                  osts: tuple | list = (),
-                 rpcs: tuple | list = ()):
+                 rpcs: tuple | list = (),
+                 slowdowns: tuple | list = ()):
         self.seed = int(seed)
         self.message_rules = tuple(messages)
         self.crash_rules = tuple(crashes)
         self.ost_rules = tuple(osts)
         self.rpc_rules = tuple(rpcs)
+        self.slowdown_rules = tuple(slowdowns)
+        self._slow_factor = {r.rank: r.factor for r in self.slowdown_rules}
         self._lock = threading.Lock()
         self._link_counts: dict[tuple, int] = {}
         self._rpc_counts: dict[tuple, int] = {}
@@ -221,6 +242,19 @@ class FaultPlan:
         with self._lock:
             self._crash_left[rank] = self._crash_left.get(rank, 0) - 1
             self._injected["crash"] = self._injected.get("crash", 0) + 1
+
+    # -- compute slowdowns -------------------------------------------------
+
+    def scaled_compute(self, rank: int, seconds: float) -> float:
+        """Virtual seconds ``rank``'s nominal ``seconds`` of work takes.
+
+        Stateless (no ordinal): a slow rank is slow for the whole run,
+        so the scaling is a pure per-rank factor.
+        """
+        factor = self._slow_factor.get(rank)
+        if factor is None or factor == 1.0:
+            return seconds
+        return seconds * factor
 
     # -- storage faults ----------------------------------------------------
 

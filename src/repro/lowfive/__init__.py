@@ -26,8 +26,9 @@ Typical wiring (one producer task, one consumer task)::
     f = h5.File("out.h5", "w", comm=task_comm, vol=vol)  # unchanged user code
 """
 
-from repro.lowfive.config import LowFiveConfig, CostConfig
+from repro.lowfive.config import LowFiveConfig, CostConfig, StreamConfig
 from repro.lowfive.rpc import (
+    Reply,
     RetriesExhausted,
     RetryPolicy,
     RPCClient,
@@ -43,6 +44,8 @@ from repro.lowfive.vol_staged import StagedMetadataVOL, staging_main
 __all__ = [
     "LowFiveConfig",
     "CostConfig",
+    "StreamConfig",
+    "Reply",
     "RPCServer",
     "RPCClient",
     "RPCError",

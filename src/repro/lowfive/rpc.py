@@ -79,6 +79,22 @@ class Defer(Exception):
     """
 
 
+@dataclass(frozen=True)
+class Reply:
+    """Handler return value that overrides the reply's wire size.
+
+    A handler normally returns a plain payload and the reply costs its
+    real serialized size on the wire. Returning ``Reply(payload,
+    nbytes)`` ships the same payload but charges ``nbytes`` instead --
+    how the serve-time compression stage of wire-side data reduction
+    is modelled (the consumer still receives exact values; only the
+    wire cost shrinks).
+    """
+
+    payload: object
+    nbytes: int
+
+
 class RPCClient:
     """Issues calls to the remote group of an intercommunicator.
 
@@ -219,7 +235,11 @@ class RPCServer:
                 inter.send((False, f"{type(exc).__name__}: {exc}"), source,
                            TAG_REPLY)
                 return
-            inter.send((True, result), source, TAG_REPLY)
+            if isinstance(result, Reply):
+                inter.send((True, result.payload), source, TAG_REPLY,
+                           nbytes=result.nbytes)
+            else:
+                inter.send((True, result), source, TAG_REPLY)
 
     def _handle_ctrl(self, inter: Intercomm, payload, source: int) -> None:
         fn, args = payload
@@ -326,6 +346,13 @@ class RPCServer:
         engine = self._inters[0].engine
         return max(p.clock for p in engine.procs)
 
+    def _replay_pending(self) -> None:
+        """Replay requests deferred from earlier epochs (e.g. queries
+        for a file that had not been closed/indexed at the time)."""
+        replay, self._pending = self._pending, []
+        for inter, payload, source in replay:
+            self._handle_request(inter, payload, source)
+
     def serve(self, timeout: float = 60.0) -> None:
         """Answer requests until every remote rank has sent ``done``.
 
@@ -343,13 +370,25 @@ class RPCServer:
         """
         if not self._inters:
             return
+        self.serve_until(self._all_done, timeout=timeout)
+        # Reset for a potential next serve epoch (next file close).
+        for inter in self._inters:
+            self._done[id(inter)] = set()
+
+    def serve_until(self, predicate, timeout: float = 60.0,
+                    what: str = "rpc traffic") -> None:
+        """Answer inbound traffic until ``predicate()`` holds.
+
+        The generalized serve loop: :meth:`serve` runs it until every
+        remote rank is done; a backpressured streaming producer runs
+        it until the live-epoch window shrinks. ``what`` names the
+        wait for the deadlock explainer.
+        """
+        if not self._inters:
+            return
         engine = self._inters[0].engine
         proc = engine.current_proc()
-        # Replay requests deferred from earlier epochs (e.g. queries for
-        # a file that had not been closed/indexed at the time).
-        replay, self._pending = self._pending, []
-        for inter, payload, source in replay:
-            self._handle_request(inter, payload, source)
+        self._replay_pending()
         # Wait descriptor for the safety gate / deadlock explainer: the
         # lanes let peers prove this server cannot act before a bound,
         # which is what breaks the mutual wait between two servers each
@@ -360,7 +399,7 @@ class RPCServer:
         desc = WaitDesc("serve", -1, ANY_SOURCE, ANY_TAG,
                         senders, lanes=lanes)
         last_progress = self._global_vtime()
-        while not self._all_done():
+        while not predicate():
             engine.check_failed()
             engine.maybe_crash()
             # Epoch read precedes the poll's peek + safety evaluation,
@@ -372,14 +411,12 @@ class RPCServer:
                 # New traffic may unblock previously deferred requests
                 # (e.g. a registration arriving completes coverage).
                 if self._pending:
-                    replay, self._pending = self._pending, []
-                    for inter, payload, source in replay:
-                        self._handle_request(inter, payload, source)
+                    self._replay_pending()
                 continue
             if self._global_vtime() - last_progress >= timeout:
                 raise RPCTimeout(
                     f"serve loop starved for {timeout:.0f}s virtual "
-                    "time; consumers never signalled done"
+                    f"time waiting for {what}"
                 )
             _, key0 = self._select(proc)
             proc.wait_desc = desc
@@ -404,13 +441,10 @@ class RPCServer:
 
                     proc.wait_spec = WAKE_ANY
                     try:
-                        engine.wait_on(proc.cond, stirred, "rpc traffic",
+                        engine.wait_on(proc.cond, stirred, what,
                                        poll=engine._POLL)
                     finally:
                         proc.wait_spec = None
             finally:
                 engine.discard_safety_waiter(proc)
                 proc.wait_desc = None
-        # Reset for a potential next serve epoch (next file close).
-        for inter in self._inters:
-            self._done[id(inter)] = set()

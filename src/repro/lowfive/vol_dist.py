@@ -32,8 +32,10 @@ from repro.h5 import format as h5format
 from repro.h5.errors import NotFoundError
 from repro.h5.objects import DatasetNode, FileNode, GroupNode
 from repro.lowfive.profile import PhaseStats, Profiler
+from repro.lowfive.reduce import reduced_nbytes, reduction_stride, subsample
 from repro.obs import span as obs_span
-from repro.lowfive.rpc import Defer, RetryPolicy, RPCClient, RPCServer
+from repro.lowfive.rpc import Defer, Reply, RetryPolicy, RPCClient, RPCServer
+from repro.simmpi import payload_nbytes
 from repro.lowfive.vol_metadata import LFFile, LFToken, MetadataVOL
 
 
@@ -111,6 +113,8 @@ class DistMetadataVOL(MetadataVOL):
         )
         self._producer_inters: list[tuple[str, object]] = []
         self._consumer_inters: list[tuple[str, object]] = []
+        self._stream_inters: list[tuple[str, object]] = []
+        self._stream_consumer_pats: list[str] = []
         self._rank_states: dict[int, _RankState] = {}
         self._state_lock = threading.Lock()
         self._push_patterns: list[str] = []
@@ -127,6 +131,26 @@ class DistMetadataVOL(MetadataVOL):
     def set_consumer(self, file_pattern: str, inter) -> None:
         """Consumer role: open matching files remotely over ``inter``."""
         self._consumer_inters.append((file_pattern, inter))
+
+    def stream_on_close(self, file_pattern: str, inter) -> None:
+        """Streaming producer role: at close of matching epoch files,
+        index and *register* them with this rank's server -- but do not
+        park in a serve loop. The :class:`~repro.stream.StreamProducer`
+        serves at its deterministic points (backpressure gate, final
+        drain) instead. Idempotent per ``(pattern, inter)`` pair, so
+        every rank of a task may wire the shared VOL."""
+        if (file_pattern, inter) not in self._stream_inters:
+            self._stream_inters.append((file_pattern, inter))
+
+    def set_stream_consumer(self, file_pattern: str, inter) -> None:
+        """Streaming consumer role: open matching epoch files remotely,
+        but suppress the per-file ``__done__`` on close -- stream
+        consumers release epochs explicitly (cumulative high-water
+        marks) and send one final done at stream close. Idempotent."""
+        if file_pattern not in self._stream_consumer_pats:
+            self._stream_consumer_pats.append(file_pattern)
+        if (file_pattern, inter) not in self._consumer_inters:
+            self._consumer_inters.append((file_pattern, inter))
 
     def enable_push(self, file_pattern: str) -> None:
         """Producer-push extension (paper Sec. V-C direction: reduce
@@ -162,6 +186,14 @@ class DistMetadataVOL(MetadataVOL):
     def _consumer_matches(self, fname: str):
         return [i for pat, i in self._consumer_inters
                 if fnmatchcase(fname, pat)]
+
+    def _stream_matches(self, fname: str):
+        return [i for pat, i in self._stream_inters
+                if fnmatchcase(fname, pat)]
+
+    def _is_stream_consumed(self, fname: str) -> bool:
+        return any(fnmatchcase(fname, p)
+                   for p in self._stream_consumer_pats)
 
     # -- producer side: index (Algorithm 1) ----------------------------------
 
@@ -322,11 +354,14 @@ class DistMetadataVOL(MetadataVOL):
             node = root.lookup(path)
             out = []
             nbytes = 0
+            stride = reduction_stride(self.costs)
             comm.compute(self.costs.per_box_test * max(1, len(node.pieces)))
             for piece in node.pieces:
                 overlap = piece.selection.intersect(selection)
                 if overlap.npoints == 0:
                     continue
+                if stride > 1:
+                    overlap = subsample(overlap, stride)
                 local = overlap.translate(
                     piece.selection.bounds()[0],
                     _box_shape(piece.selection),
@@ -342,6 +377,12 @@ class DistMetadataVOL(MetadataVOL):
             # (paper Sec. IV-B(c): this is why LowFive beats the
             # hand-written per-point MPI code at small scale).
             comm.charge_memcpy(nbytes)
+            if self.costs.reduction_level > 0:
+                # Simulated compression stage: CPU cost per input byte,
+                # wire bytes scaled down; the payload itself is intact.
+                raw = payload_nbytes((True, out))
+                comm.compute(self.costs.reduce_cost_per_byte * raw)
+                return Reply(out, reduced_nbytes(raw, self.costs))
             return out
 
         st.server.register("metadata", metadata)
@@ -357,6 +398,25 @@ class DistMetadataVOL(MetadataVOL):
         with self.profiler.phase(self._rank_key(self.comm), "serve",
                                  self.comm, file=fname):
             st.server.serve()
+
+    def _stream_register(self, fname: str, inters) -> None:
+        """Epoch-aware serve: make a closed (indexed) epoch file
+        servable without blocking in a serve loop."""
+        st = self._rank_state()
+        self._install_handlers(st)
+        st.served_files.add(fname)
+        for inter in inters:
+            st.server.attach(inter)
+
+    def rank_server(self) -> RPCServer:
+        """This rank's serve-side RPC server, handlers installed.
+
+        The streaming layer runs its backpressure and end-of-stream
+        serve loops on it.
+        """
+        st = self._rank_state()
+        self._install_handlers(st)
+        return st.server
 
     # -- consumer side: query (Algorithm 3) -----------------------------------------
 
@@ -451,11 +511,25 @@ class DistMetadataVOL(MetadataVOL):
         is_remote = ftoken.fstate.remote_client is not None
         super().file_close(ftoken)
         if is_remote:
+            if self._is_stream_consumed(fname):
+                # Stream epoch close: no per-file done -- the consumer
+                # releases epochs explicitly and signals done once at
+                # stream close.
+                self.drop_file(comm, fname)
+                return
             # Consumer side: release the producers (Algorithm 2's "done").
             client: RPCClient = ftoken.fstate.remote_client
             for dest in range(client.remote_size):
                 client.notify(dest, "__done__")
             self.drop_file(comm, fname)
+            return
+        stream_inters = self._stream_matches(fname)
+        if stream_inters and self.config.file_intercepted(fname):
+            # Streaming epoch close: index collectively, register with
+            # the server, hand control straight back to the producer
+            # loop (publish/backpressure live in repro.stream).
+            self._index_file(fname)
+            self._stream_register(fname, stream_inters)
             return
         prod_inters = self._producer_inters_for_close(fname)
         if not prod_inters:

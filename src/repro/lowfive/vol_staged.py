@@ -34,7 +34,9 @@ from repro.diy import Bounds, RegularDecomposer
 from repro.h5 import format as h5format
 from repro.h5.errors import NotFoundError
 from repro.h5.objects import DatasetNode, OWN_SHALLOW
-from repro.lowfive.rpc import Defer, RPCClient, RPCServer
+from repro.lowfive.reduce import reduced_nbytes, reduction_stride, subsample
+from repro.lowfive.rpc import Defer, Reply, RPCClient, RPCServer
+from repro.simmpi import payload_nbytes
 from repro.lowfive.vol_dist import (
     DistMetadataVOL,
     _box_shape,
@@ -263,10 +265,13 @@ def staging_main(inters, costs=None, timeout: float = 60.0) -> dict:
         node = root.lookup(path)
         out = []
         nbytes = 0
+        stride = reduction_stride(costs)
         for piece in node.pieces:
             overlap = piece.selection.intersect(selection)
             if overlap.npoints == 0:
                 continue
+            if stride > 1:
+                overlap = subsample(overlap, stride)
             local = overlap.translate(
                 piece.selection.bounds()[0], _box_shape(piece.selection)
             )
@@ -278,14 +283,51 @@ def staging_main(inters, costs=None, timeout: float = 60.0) -> dict:
             out.append((overlap, values))
             nbytes += int(values.nbytes)
         inters[0].charge_memcpy(nbytes)
+        if costs.reduction_level > 0:
+            raw = payload_nbytes((True, out))
+            inters[0].compute(costs.reduce_cost_per_byte * raw)
+            return Reply(out, reduced_nbytes(raw, costs))
         return out
 
     def staged(source, fname):
         complete.setdefault(fname, set()).add(source)
 
+    # Epoch-aware retention: streaming consumers release epochs with
+    # cumulative high-water marks (``__release__(stream, upto, world)``,
+    # ``world`` disambiguating ranks across multiple consumer inters).
+    # Once every consumer rank has released epoch ``e`` of a stream,
+    # its staged tree is dropped -- the stagers hold a bounded window
+    # of live epochs instead of the whole history.
+    released: dict[str, dict[int, int]] = {}
+    dropped: dict[str, int] = {}  # stream -> first epoch not yet dropped
+    ncons = sum(i.remote_size for i in inters[1:])
+    my_world = inters[0].world_rank(inters[0].rank)
+    obs = inters[0].engine.obs
+
+    def release(source, stream, upto, world):
+        hw = released.setdefault(stream, {})
+        hw[world] = max(hw.get(world, -1), upto)
+        if ncons == 0 or len(hw) < ncons:
+            return
+        floor = min(hw.values())
+        e = dropped.get(stream, 0)
+        while e <= floor:
+            fname = f"{stream}@{e}"
+            if fname in skeletons:
+                skeletons.pop(fname, None)
+                trees.pop(fname, None)
+                complete.pop(fname, None)
+                obs.stream.drop(stream, e, my_world, inters[0].vtime)
+            e += 1
+        dropped[stream] = e
+        live = sum(1 for f in skeletons if f.startswith(stream + "@"))
+        obs.metrics.set("stream.staged_live", live, rank=my_world,
+                        stream=stream)
+
     server.register("metadata", metadata)
     server.register("read", read)
     server.on_notify("__staged__", staged)
+    server.on_notify("__release__", release)
     for inter in inters:
         server.attach(inter)
 

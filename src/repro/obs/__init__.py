@@ -63,6 +63,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.recorder import FlightEvent, FlightRecorder
 from repro.obs.spans import InstantEvent, SpanEvent, SpanRecorder
+from repro.obs.streamstat import StreamEvent, StreamLedger
 
 __all__ = [
     "ObsContext",
@@ -77,6 +78,8 @@ __all__ = [
     "InstantEvent",
     "FlightRecorder",
     "FlightEvent",
+    "StreamLedger",
+    "StreamEvent",
     "CausalRecorder",
     "FlowEdge",
     "CollectiveRecord",
@@ -112,6 +115,8 @@ class ObsContext:
         self.flight = FlightRecorder(flight_capacity)
         #: Flow edges, collective records and per-rank time ledgers.
         self.causal = CausalRecorder()
+        #: Epoch-lifecycle events of streaming pipelines.
+        self.stream = StreamLedger()
         self._rank_tasks: dict[int, str] = {}
 
     # -- task topology (pid/tid mapping for export) ------------------------

@@ -41,16 +41,22 @@ COLLECTIVE_STRAGGLER = "collective-straggler"
 RPC_SERVER_BUSY = "rpc-server-busy"
 #: Receiver idled behind a peer doing parallel-file-system I/O.
 PFS_CONTENTION = "pfs-contention"
+#: A streaming producer idled for a consumer's epoch release (its
+#: live-epoch window hit ``max_lag``).
+BACKPRESSURE = "backpressure"
 
 #: Every category :func:`classify_waits` can emit.
 WAIT_CATEGORIES = (LATE_SENDER, EARLY_SENDER, COLLECTIVE_STRAGGLER,
-                   RPC_SERVER_BUSY, PFS_CONTENTION)
+                   RPC_SERVER_BUSY, PFS_CONTENTION, BACKPRESSURE)
 
 #: RPC reply tag (mirrors :data:`repro.lowfive.rpc.TAG_REPLY`; obs must
 #: not import lowfive).
 _TAG_REPLY = 702
 #: Span names that mean "this rank is acting as an RPC server".
 _SERVER_SPANS = ("rpc.handle", "lowfive.serve", "lowfive.staging")
+#: Span a backpressured streaming producer blocks inside: any wait the
+#: *receiver* spends there is backpressure, whatever message wakes it.
+_BACKPRESSURE_SPAN = "stream.backpressure"
 
 
 @dataclass(frozen=True)
@@ -392,8 +398,16 @@ class WaitState:
                 "cause_span": self.cause_span, **self.detail}
 
 
-def _classify_edge(edge: FlowEdge, cause_span) -> str:
-    """Wait category of a late receive, from the sender's activity."""
+def _classify_edge(edge: FlowEdge, cause_span, recv_span=None) -> str:
+    """Wait category of a late receive, from the sender's activity
+    (and, for backpressure, the receiver's)."""
+    if recv_span is not None and recv_span.name == _BACKPRESSURE_SPAN:
+        # The receiver was a producer parked on its live-epoch bound;
+        # whatever message ends the wait, the cause is the consumer
+        # it was throttled by. The receiver span (not the release tag)
+        # is the signal: a release arriving during an ordinary
+        # end-of-stream drain is not backpressure.
+        return BACKPRESSURE
     if cause_span is not None:
         if cause_span.cat == "pfs" or cause_span.name.startswith("pfs."):
             return PFS_CONTENTION
@@ -422,9 +436,11 @@ def classify_waits(obs, tol: float = 1e-12) -> list[WaitState]:
         if w > tol:
             cause = dominant_span(spans_by_rank.get(e.src, ()),
                                   e.t_recv_start, e.t_recv_start + w)
+            recv = dominant_span(spans_by_rank.get(e.dst, ()),
+                                 e.t_recv_start, e.t_recv_start + w)
             out.append(WaitState(
                 e.dst, e.t_recv_start, e.t_recv_start + w,
-                _classify_edge(e, cause), e.src,
+                _classify_edge(e, cause, recv), e.src,
                 cause.name if cause is not None else "",
                 {"tag": e.tag, "msg_id": e.msg_id},
             ))
@@ -447,7 +463,14 @@ def classify_waits(obs, tol: float = 1e-12) -> list[WaitState]:
                 cause.name if cause is not None else "",
                 {"kind": rec.kind, "coll_id": rec.coll_id},
             ))
-    out.sort(key=lambda w: (w.t0, w.rank, w.t1))
+    # Total order: the time/rank prefix alone admits ties (e.g. two
+    # buffered messages from different senders consumed back-to-back
+    # at identical clocks), and ties would leak the recorder's append
+    # order -- which is real-thread order on the serve path. The
+    # category/cause/detail suffix (msg or collective ids are unique
+    # per entry) pins the output byte-for-byte across same-seed runs.
+    out.sort(key=lambda w: (w.t0, w.rank, w.t1, w.category, w.cause_rank,
+                            sorted(w.detail.items())))
     return out
 
 

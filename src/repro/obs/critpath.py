@@ -37,8 +37,10 @@ CATEGORIES = ("simmpi", "lowfive", "pfs", "compute", "wait")
 
 #: Span category -> critical-path category. Anything else (including
 #: uninstrumented time under a bare ``task.*`` span) is compute.
+#: Stream spans fold into the lowfive bucket: streaming is the VOL
+#: transport extended in time, not a new machine layer.
 _CAT = {"simmpi": "simmpi", "lowfive": "lowfive", "rpc": "lowfive",
-        "pfs": "pfs"}
+        "pfs": "pfs", "stream": "lowfive"}
 
 
 @dataclass(frozen=True)

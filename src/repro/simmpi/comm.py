@@ -34,6 +34,9 @@ class _CollectiveCtx:
         # analyzer needs the per-rank record to flag it).
         self.enter_kinds: dict[int, str] = {}
         self.max_clock = float("-inf")
+        # Largest nbytes any participant passed: the rendezvous cost
+        # must not depend on *which* rank happens to complete it.
+        self.max_nbytes = 0
         self.result = None
         self.final_clock = 0.0
         self.nleft = 0
@@ -105,6 +108,9 @@ class Comm:
         if seconds < 0:
             raise ValueError("seconds must be >= 0")
         proc = self._proc()
+        plan = getattr(self.engine, "faults", None)
+        if plan is not None:
+            seconds = plan.scaled_compute(proc.rank, seconds)
         proc.clock += seconds
         self.engine.obs.causal.account(proc.rank).compute += seconds
         self.engine.maybe_crash()
@@ -520,13 +526,19 @@ class Comm:
             ctx.enter_clocks[proc.rank] = proc.clock
             ctx.enter_kinds[proc.rank] = kind
             ctx.max_clock = max(ctx.max_clock, proc.clock)
+            ctx.max_nbytes = max(ctx.max_nbytes, nbytes)
             if len(ctx.entries) == ctx.size:
+                # Cost from the aggregate payload size, never from the
+                # completing rank's own ``nbytes``: per-rank sizes can
+                # differ (e.g. alltoall), and which rank completes the
+                # rendezvous is a real-scheduling accident.
                 ctx.result = reducer(dict(ctx.entries))
                 ctx.final_clock = ctx.max_clock + self.model.collective_time(
-                    cost_kind, ctx.size, nbytes
+                    cost_kind, ctx.size, ctx.max_nbytes
                 )
                 obs.causal.collective(
-                    kind=kind, comm_id=self.comm_id, nbytes=nbytes,
+                    kind=kind, comm_id=self.comm_id,
+                    nbytes=ctx.max_nbytes,
                     enter_clocks=ctx.enter_clocks, t_ready=ctx.max_clock,
                     t_end=ctx.final_clock, kinds=ctx.enter_kinds,
                 )
@@ -558,6 +570,7 @@ class Comm:
                 ctx.draining = False
                 ctx.generation += 1
                 ctx.max_clock = float("-inf")
+                ctx.max_nbytes = 0
                 ctx.cond.notify_all()
         proc.clock = final
         acct = obs.causal.account(proc.rank)
@@ -571,6 +584,22 @@ class Comm:
     def barrier(self) -> None:
         """Synchronize all ranks; clocks advance to a common time."""
         self._collective("barrier", None, lambda e: None)
+
+    def epoch_barrier(self, epoch: int) -> None:
+        """Barrier bounding one streaming epoch.
+
+        Semantically a plain barrier; the surrounding span labels it
+        with the epoch id, so traces and wait-state attribution can
+        tell which timestep a straggler stalled.
+        """
+        obs = self.engine.obs
+        proc = self._proc()
+        h = obs.spans.begin(proc.rank, "mpi.epoch_barrier", "simmpi",
+                            proc.clock, {"epoch": epoch})
+        try:
+            self._collective("barrier", None, lambda e: None)
+        finally:
+            obs.spans.end(h, self._proc().clock)
 
     def bcast(self, payload=None, root: int = 0):
         """Broadcast ``payload`` from ``root``; every rank returns it."""
@@ -837,6 +866,17 @@ class Intercomm(Comm):
     def barrier(self) -> None:
         """Rendezvous across both groups."""
         self._collective("barrier", None, lambda e: None)
+
+    def notify_remote(self, payload, tag: int,
+                      nbytes: int | None = None) -> None:
+        """Send ``payload`` to every rank of the remote group.
+
+        The epoch-notify primitive: a streaming producer announces
+        published epochs (and end-of-stream) to all consumer ranks
+        with one call.
+        """
+        for dest in range(self.remote_size):
+            self.send(payload, dest, tag, nbytes=nbytes)
 
     def split(self, color, key=None):  # pragma: no cover - guard
         raise NotImplementedError("cannot split an intercommunicator")

@@ -1,0 +1,39 @@
+"""Wire protocol constants and naming for streaming pipelines.
+
+A stream maps ``(name, epoch)`` to the VOL file ``"<name>@<epoch>"``:
+each epoch is written, closed and indexed like an ordinary LowFive
+file, so the whole index/serve/query machinery works per timestep.
+Control flow rides on two dedicated tags (outside the RPC 701-703 and
+push/stage 705/707 ranges) so causal analysis can recognize stream
+traffic without importing this package:
+
+- ``TAG_STREAM_CTRL``: producer rank 0 -> every consumer rank;
+  ``("__epoch__", name, e)`` announces a published epoch and
+  ``("__eos__", name, last)`` ends the stream.
+- ``TAG_STREAM_RELEASE``: consumer rank -> every producer rank;
+  ``(name, upto)`` releases every epoch ``<= upto`` (a cumulative
+  high-water mark, so slow joiners skipping epochs release them
+  implicitly). Mirrored as ``_TAG_STREAM_RELEASE`` in
+  :mod:`repro.obs.causal`.
+"""
+
+from __future__ import annotations
+
+#: Epoch publish / end-of-stream announcements (producer -> consumer).
+TAG_STREAM_CTRL = 709
+#: Cumulative epoch releases (consumer -> producer).
+TAG_STREAM_RELEASE = 710
+
+#: Announcement kinds carried on :data:`TAG_STREAM_CTRL`.
+MSG_EPOCH = "__epoch__"
+MSG_EOS = "__eos__"
+
+
+def epoch_fname(name: str, epoch: int) -> str:
+    """VOL file name of one epoch of stream ``name``."""
+    return f"{name}@{epoch}"
+
+
+def stream_pattern(name: str) -> str:
+    """Glob pattern matching every epoch file of stream ``name``."""
+    return f"{name}@*"

@@ -83,3 +83,26 @@ class TaskContext:
             if key not in self._singletons:
                 self._singletons[key] = factory()
             return self._singletons[key]
+
+    # -- streaming ---------------------------------------------------------
+
+    def stream_producer(self, other: str, name: str, vol, config=None):
+        """A :class:`~repro.stream.StreamProducer` publishing stream
+        ``name`` to task ``other`` over this task's link.
+
+        ``other`` may be a list of peer task names to fan the stream
+        out to several consumer tasks.
+        """
+        from repro.stream import StreamProducer
+
+        peers = [other] if isinstance(other, str) else list(other)
+        inters = [self.intercomm(p) for p in peers]
+        return StreamProducer(vol, self.comm, inters, name, config=config)
+
+    def stream_consumer(self, other: str, name: str, vol, config=None):
+        """A :class:`~repro.stream.StreamConsumer` subscribed to stream
+        ``name`` published by task ``other``."""
+        from repro.stream import StreamConsumer
+
+        return StreamConsumer(vol, self.comm, self.intercomm(other),
+                              name, config=config)

@@ -69,3 +69,91 @@ class TestLeaks:
 
         res = run_world(2, main, timeout=30.0)
         assert check_leaks(res.obs) == []
+
+
+class TestEpochLeaks:
+    def test_open_acquisition_reported_with_epoch_id(self):
+        from types import SimpleNamespace
+
+        from repro.analyze import check_stream_leaks
+        from repro.obs.streamstat import StreamLedger
+
+        ledger = StreamLedger()
+        ledger.publish("sim", 0, 0, 0.1, 1)
+        ledger.publish("sim", 1, 0, 0.2, 2)
+        ledger.acquire("sim", 0, 1, 0.3)
+        ledger.acquire("sim", 1, 1, 0.4)
+        ledger.release("sim", 0, 1, 0.5)  # hwm 0: epoch 1 still open
+        findings = check_stream_leaks(SimpleNamespace(stream=ledger))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.kind == "epoch-leak"
+        assert f.rank == 1
+        assert "epoch 1" in f.summary
+        assert f.detail == {"stream": "sim", "epoch": 1, "rank": 1}
+
+    def test_cumulative_release_closes_earlier_epochs(self):
+        from types import SimpleNamespace
+
+        from repro.analyze import check_stream_leaks
+        from repro.obs.streamstat import StreamLedger
+
+        ledger = StreamLedger()
+        ledger.acquire("sim", 0, 1, 0.1)
+        ledger.acquire("sim", 3, 1, 0.2)  # caught-up consumer skipped
+        ledger.release("sim", 3, 1, 0.3)  # hwm 3 covers everything
+        assert check_stream_leaks(SimpleNamespace(stream=ledger)) == []
+
+    def test_obs_without_ledger_is_clean(self):
+        from repro.analyze import check_stream_leaks
+
+        assert check_stream_leaks(StubObs()) == []
+
+    def test_real_retained_epoch_surfaces_in_analyze_obs(self):
+        """A consumer that retains its last epoch and exits without
+        releasing it: the run finishes, but ``analyze_obs`` names the
+        leaked epoch."""
+        import numpy as np
+
+        import repro.h5 as h5
+        from repro.h5.native import NativeVOL
+        from repro.lowfive import DistMetadataVOL
+        from repro.pfs import PFSStore
+        from repro.workflow import Workflow
+
+        shape = (8, 4)
+
+        def make_vol(ctx):
+            return ctx.singleton("vol", lambda: DistMetadataVOL(
+                comm=ctx.comm, under=NativeVOL(PFSStore())))
+
+        def producer(ctx):
+            vol = make_vol(ctx)
+            with ctx.stream_producer("consumer", "sim", vol) as prod:
+                for step in range(2):
+                    with prod.epoch() as f:
+                        d = f.create_dataset("g", shape=shape,
+                                             dtype=h5.UINT64)
+                        d.write(np.full(shape, step,
+                                        dtype=np.uint64).ravel())
+            return True
+
+        def consumer(ctx):
+            vol = make_vol(ctx)
+            with ctx.stream_consumer("producer", "sim", vol) as cons:
+                for ep in cons.epochs():
+                    with ep:
+                        if ep.id == 1:
+                            ep.retain()  # never released
+            return True
+
+        wf = Workflow()
+        wf.add_task("producer", 1, producer)
+        wf.add_task("consumer", 1, consumer)
+        wf.add_link("producer", "consumer")
+        res = wf.run(timeout=60.0)
+        leaks = [f for f in analyze_obs(res.obs)
+                 if f.kind == "epoch-leak"]
+        assert len(leaks) == 1
+        assert leaks[0].detail == {"stream": "sim", "epoch": 1,
+                                   "rank": 1}

@@ -76,3 +76,148 @@ class TestAnalyzerDeterminism:
         a, b = one(), one()
         assert a == b
         assert a["findings"] == []
+
+
+def _report_fingerprint(res):
+    """Full causal report -- waits included -- as canonical JSON."""
+    return json.dumps(
+        {"vtime": res.vtime, "messages": res.messages,
+         "bytes": res.bytes_sent,
+         "report": res.causal_report().to_dict()},
+        sort_keys=True)
+
+
+class TestStagedDeterminism:
+    def test_staged_mode_report_is_byte_identical(self):
+        """Staged mode has the most concurrent moving parts (three
+        tasks, deferred queries, a piece lane); the full report --
+        wait attribution included, where ties between same-instant
+        waits used to fall into set order -- must still replay
+        byte-identically."""
+        import numpy as np
+
+        import repro.h5 as h5
+        from repro.h5.native import NativeVOL
+        from repro.lowfive.vol_staged import (
+            StagedMetadataVOL,
+            staging_main,
+        )
+        from repro.pfs import PFSStore
+        from repro.synth import (
+            consumer_grid_selection,
+            grid_values,
+            producer_grid_selection,
+        )
+        from repro.workflow import Workflow
+
+        shape = (12, 8)
+
+        def one():
+            def make_vol(ctx, role):
+                def factory():
+                    vol = StagedMetadataVOL(comm=ctx.comm,
+                                            under=NativeVOL(PFSStore()))
+                    vol.set_memory("*.h5")
+                    inter = ctx.intercomm("staging")
+                    if role == "producer":
+                        vol.stage_on_close("*.h5", inter)
+                    else:
+                        vol.set_staged_consumer("*.h5", inter)
+                    return vol
+
+                return ctx.singleton("vol", factory)
+
+            def producer(ctx):
+                vol = make_vol(ctx, "producer")
+                f = h5.File("o.h5", "w", comm=ctx.comm, vol=vol)
+                d = f.create_dataset("d", shape=shape, dtype=h5.UINT64)
+                sel = producer_grid_selection(shape, ctx.rank, ctx.size)
+                d.write(grid_values(sel, shape), file_select=sel)
+                f.close()
+                StagedMetadataVOL.finalize_staging(
+                    ctx.intercomm("staging"))
+                return True
+
+            def consumer(ctx):
+                vol = make_vol(ctx, "consumer")
+                f = h5.File("o.h5", "r", comm=ctx.comm, vol=vol)
+                sel = consumer_grid_selection(shape, ctx.rank, ctx.size)
+                vals = np.asarray(f["d"].read(sel, reshape=False))
+                f.close()
+                StagedMetadataVOL.finalize_staging(
+                    ctx.intercomm("staging"))
+                return np.array_equal(vals, grid_values(sel, shape))
+
+            def staging(ctx):
+                return staging_main([ctx.intercomm("producer"),
+                                     ctx.intercomm("consumer")])
+
+            wf = Workflow()
+            wf.add_task("producer", 3, producer)
+            wf.add_task("consumer", 2, consumer)
+            wf.add_task("staging", 1, staging)
+            wf.add_link("producer", "staging")
+            wf.add_link("consumer", "staging")
+            res = wf.run(timeout=90.0)
+            assert all(res.returns["consumer"])
+            return _report_fingerprint(res)
+
+        prints = [one() for _ in range(3)]
+        assert prints[0] == prints[1] == prints[2]
+
+
+class TestStreamDeterminism:
+    def test_stream_backpressure_report_is_byte_identical(self):
+        """A streaming run that gates on backpressure: announcements,
+        the catch-up target and the producer's serve order are all
+        resolved at deterministic virtual-time points, so the full
+        report replays byte-identically."""
+        import numpy as np
+
+        import repro.h5 as h5
+        from repro.h5.native import NativeVOL
+        from repro.lowfive import DistMetadataVOL, StreamConfig
+        from repro.pfs import PFSStore
+        from repro.workflow import Workflow
+
+        shape = (10, 6)
+
+        def one():
+            def make_vol(ctx):
+                return ctx.singleton("vol", lambda: DistMetadataVOL(
+                    comm=ctx.comm, under=NativeVOL(PFSStore())))
+
+            def producer(ctx):
+                vol = make_vol(ctx)
+                with ctx.stream_producer(
+                        "consumer", "sim", vol,
+                        StreamConfig(max_lag=2)) as prod:
+                    for step in range(5):
+                        with prod.epoch() as f:
+                            d = f.create_dataset("g", shape=shape,
+                                                 dtype=h5.UINT64)
+                            d.write(np.full(shape, step,
+                                            dtype=np.uint64).ravel())
+                return True
+
+            def consumer(ctx):
+                vol = make_vol(ctx)
+                seen = []
+                with ctx.stream_consumer("producer", "sim",
+                                         vol) as cons:
+                    for ep in cons.epochs():
+                        with ep:
+                            seen.append(ep.id)
+                        ctx.comm.compute(0.05)
+                return seen
+
+            wf = Workflow()
+            wf.add_task("producer", 1, producer)
+            wf.add_task("consumer", 1, consumer)
+            wf.add_link("producer", "consumer")
+            res = wf.run(timeout=90.0)
+            assert res.returns["consumer"][0] == list(range(5))
+            return _report_fingerprint(res)
+
+        prints = [one() for _ in range(3)]
+        assert prints[0] == prints[1] == prints[2]

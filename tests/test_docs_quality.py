@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.perfmodel",
     "repro.bench",
     "repro.tools",
+    "repro.stream",
 ]
 
 
