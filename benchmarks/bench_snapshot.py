@@ -11,7 +11,10 @@ be diffed across commits; the output is deterministic (no timestamps,
 virtual clocks only).
 
 Exits nonzero when any run fails validation or violates the per-rank
-time conservation invariant.
+time conservation invariant. With ``--ref`` / ``--check-ref`` the
+virtual fields are additionally gated against a reference snapshot via
+the shared :mod:`repro.obs.ledger` comparator, and ``--ledger PATH``
+appends every run to a JSONL run ledger.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ def snapshot(elems: int, scales) -> dict:
         for figure, transport, fn in RUNS:
             res = getattr(bench, fn)(nprod, ncons, wl)
             runs.append({
+                "workload": f"{figure}/{transport}/P{P}",
                 "figure": figure,
                 "transport": transport,
                 "nprocs": P,
@@ -102,18 +106,44 @@ def main(argv=None) -> int:
                          "or REPRO_BENCH_ELEMS)")
     ap.add_argument("--scales", type=int, nargs="+", default=[4, 8],
                     help="total process counts to execute (default 4 8)")
+    ap.add_argument("--ref", default=None,
+                    help="reference snapshot for the drift gate "
+                         "(no default: snapshots are primarily "
+                         "artifacts, not gates)")
+    ap.add_argument("--check-ref", action="store_true",
+                    help="exit nonzero when any virtual field drifts "
+                         "from the reference")
+    ap.add_argument("--ledger", default=None, metavar="PATH",
+                    help="append every run to this JSONL run ledger")
     args = ap.parse_args(argv)
 
     doc = snapshot(args.elems, args.scales)
     with open(args.output, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
+    if args.ledger:
+        from repro.obs.ledger import Ledger
+
+        n = Ledger(args.ledger).append_doc(doc)
+        print(f"appended {n} runs to {args.ledger}")
     problems = check(doc)
+    drift = []
+    if args.ref or args.check_ref:
+        from repro.obs.ledger import check_reference
+
+        drift = check_reference(
+            doc["runs"], args.ref or "",
+            our_params={"elems_per_proc": args.elems,
+                        "scales": list(args.scales)},
+            check_ref=args.check_ref,
+        )
     print(f"wrote {args.output}: {len(doc['runs'])} runs, "
           f"schema v{doc['schema_version']}")
-    for p in problems:
+    for p in problems + drift:
         print(f"ERROR: {p}", file=sys.stderr)
-    return 1 if problems else 0
+    if problems:
+        return 1  # invariant violations always fail
+    return 1 if (drift and args.check_ref) else 0
 
 
 if __name__ == "__main__":

@@ -18,8 +18,10 @@ virtual makespan for each point, plus:
 
 Invariant violations always exit nonzero. With ``--check-ref`` the
 virtual fields are additionally compared against the committed
-reference (``benchmarks/BENCH_stream_ref.json``); any drift exits
-nonzero. Wall seconds are recorded for information only.
+reference (``benchmarks/BENCH_stream_ref.json``) via the shared
+:mod:`repro.obs.ledger` comparator; any drift exits nonzero. Wall
+seconds are recorded for information only. ``--ledger PATH`` appends
+every run to a JSONL run ledger.
 """
 
 from __future__ import annotations
@@ -251,23 +253,12 @@ def run_rate_mismatch(nsteps, max_lag):
 
 
 def compare(runs, ref):
-    """Drift problems vs the reference document."""
-    problems = []
-    compared = False
-    ref_runs = {r["workload"]: r for r in ref.get("runs", [])}
-    for run in runs:
-        base = ref_runs.get(run["workload"])
-        if base is None:
-            continue
-        compared = True
-        for fieldname in VIRTUAL_FIELDS:
-            if run[fieldname] != base[fieldname]:
-                problems.append(
-                    f"{run['workload']}: {fieldname} drifted "
-                    f"{base[fieldname]!r} -> {run[fieldname]!r}")
-        if base.get("digest") and run.get("digest") != base["digest"]:
-            problems.append(f"{run['workload']}: data digest drifted")
-    return problems, compared
+    """Drift problems vs the reference document. Thin wrapper over the
+    shared :func:`repro.obs.ledger.compare_runs` comparator."""
+    from repro.obs.ledger import compare_runs
+
+    return compare_runs(runs, ref, exact=VIRTUAL_FIELDS,
+                        check_digest=True, annotate_wall=False)
 
 
 def main(argv=None) -> int:
@@ -288,6 +279,8 @@ def main(argv=None) -> int:
     ap.add_argument("--check-ref", action="store_true",
                     help="exit nonzero when any virtual field drifts "
                          "from the reference")
+    ap.add_argument("--ledger", default=None, metavar="PATH",
+                    help="append every run to this JSONL run ledger")
     args = ap.parse_args(argv)
 
     runs, problems = run_suite(args.procs, args.levels, args.nsteps,
@@ -297,24 +290,16 @@ def main(argv=None) -> int:
     runs.append(rec)
     problems += mismatch_problems
 
-    drift: list[str] = []
-    if os.path.exists(args.ref):
-        with open(args.ref) as f:
-            ref_doc = json.load(f)
-        ref_params = ref_doc.get("params", {})
-        our_params = {"procs": list(args.procs),
-                      "levels": list(args.levels),
-                      "nsteps": args.nsteps, "max_lag": args.max_lag}
-        if all(ref_params.get(k) == v for k, v in our_params.items()):
-            drift, compared = compare(runs, ref_doc)
-            if args.check_ref and not compared:
-                drift.append("reference matched no workloads")
-        elif args.check_ref:
-            drift.append(
-                f"reference params {ref_params} do not cover this run "
-                f"({our_params}); cannot check drift")
-    elif args.check_ref:
-        drift.append(f"reference {args.ref} not found")
+    from repro.obs.ledger import check_reference
+
+    drift = check_reference(
+        runs, args.ref,
+        our_params={"procs": list(args.procs),
+                    "levels": list(args.levels),
+                    "nsteps": args.nsteps, "max_lag": args.max_lag},
+        check_ref=args.check_ref, exact=VIRTUAL_FIELDS,
+        check_digest=True,
+    )
 
     doc = {
         "schema_version": SCHEMA_VERSION,
@@ -327,6 +312,11 @@ def main(argv=None) -> int:
     with open(args.output, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
+    if args.ledger:
+        from repro.obs.ledger import Ledger
+
+        n = Ledger(args.ledger).append_doc(doc)
+        print(f"appended {n} runs to {args.ledger}")
 
     for run in runs:
         print(f"{run['workload']:28s} {run['wall_seconds']:7.2f}s "

@@ -11,11 +11,20 @@ delivery). Virtual-time results (``vtime``, ``messages``,
 model is untouched: none of these fields may drift.
 
 With ``--check-ref`` the run is compared against a committed reference
-(``benchmarks/BENCH_wallclock_ref.json``): any virtual-time drift exits
+(``benchmarks/BENCH_wallclock_ref.json``) via the shared
+:mod:`repro.obs.ledger` comparator: any virtual-time drift exits
 nonzero, and wall-clock speedups vs the reference's recorded seed
 timings are written into the output document. Wall seconds are
 machine-dependent, so speedups are informational; the drift check is
 the hard gate.
+
+The suite also measures telemetry self-accounting: the fig5 memory
+workload runs once with the full observability stack and once with a
+:class:`~repro.obs.noop.NullObsContext`, recording the wall-clock
+overhead fraction (the virtual results must be identical -- telemetry
+never changes simulation semantics). ``--obs-budget FRAC`` turns the
+overhead into a hard gate. ``--ledger PATH`` appends every run as a
+:class:`~repro.obs.ledger.RunRecord` to a JSONL run ledger.
 """
 
 from __future__ import annotations
@@ -110,29 +119,63 @@ def run_suite(elems: int, nprocs: int, stress_ranks: int,
     return runs
 
 
+def measure_obs_overhead(elems: int, nprocs: int,
+                         repeats: int) -> tuple[dict, list[str]]:
+    """Telemetry self-accounting on the fig5 memory workload.
+
+    Times the identical workflow with the full observability stack and
+    with a :class:`~repro.obs.noop.NullObsContext`; virtual results
+    must match exactly (telemetry must never perturb the simulation).
+    Returns ``(run record, invariant problems)``.
+    """
+    from repro.bench.drivers import _lowfive_wf
+    from repro.obs.noop import NullObsContext
+    from repro.perfmodel.transports import THETA_KNL
+    from repro.pfs import PFSStore
+    from repro.synth import SyntheticWorkload
+
+    wl = SyntheticWorkload(grid_points_per_proc=elems,
+                           particles_per_proc=elems)
+    nprod, ncons = wl.split_procs(nprocs)
+
+    def once(obs=None):
+        wf = _lowfive_wf(nprod, ncons, wl, THETA_KNL, "memory",
+                         PFSStore())
+        return wf.run(model=THETA_KNL.net, obs=obs)
+
+    wall_on, res_on = _timed(once, repeats)
+    wall_off, res_off = _timed(lambda: once(NullObsContext()), repeats)
+    problems = []
+    for fieldname in VIRTUAL_FIELDS:
+        on, off = getattr(res_on, fieldname), getattr(res_off, fieldname)
+        if on != off:
+            problems.append(
+                f"obs overhead: {fieldname} changed with telemetry "
+                f"disabled ({on!r} vs {off!r}); observability must not "
+                f"perturb the simulation"
+            )
+    frac = (wall_on - wall_off) / wall_off if wall_off > 0 else 0.0
+    rec = {
+        "workload": f"obs/overhead/P{nprocs}",
+        "nprocs": nprocs,
+        "wall_seconds": wall_on,
+        "wall_obs_off": wall_off,
+        "obs_overhead_frac": frac,
+        "vtime": res_on.vtime,
+        "messages": res_on.messages,
+        "bytes_sent": res_on.bytes_sent,
+    }
+    return rec, problems
+
+
 def compare(runs: list[dict], ref: dict) -> tuple[list[str], bool]:
     """Annotate ``runs`` with speedups vs ``ref``; returns
-    (drift problems, compared anything)."""
-    problems = []
-    compared = False
-    ref_runs = {r["workload"]: r for r in ref.get("runs", [])}
-    for run in runs:
-        base = ref_runs.get(run["workload"])
-        if base is None:
-            continue
-        compared = True
-        for fieldname in VIRTUAL_FIELDS:
-            if run[fieldname] != base[fieldname]:
-                problems.append(
-                    f"{run['workload']}: {fieldname} drifted "
-                    f"{base[fieldname]!r} -> {run[fieldname]!r}"
-                )
-        if base.get("wall_seconds"):
-            run["ref_wall_seconds"] = base["wall_seconds"]
-            run["speedup_vs_reference"] = (
-                base["wall_seconds"] / run["wall_seconds"]
-            )
-    return problems, compared
+    (drift problems, compared anything). Thin wrapper over the shared
+    :func:`repro.obs.ledger.compare_runs` comparator."""
+    from repro.obs.ledger import compare_runs
+
+    return compare_runs(runs, ref, exact=VIRTUAL_FIELDS,
+                        check_digest=False, annotate_wall=True)
 
 
 def main(argv=None) -> int:
@@ -158,30 +201,35 @@ def main(argv=None) -> int:
     ap.add_argument("--check-ref", action="store_true",
                     help="exit nonzero when any virtual-time field "
                          "drifts from the reference")
+    ap.add_argument("--obs-budget", type=float, default=None,
+                    metavar="FRAC",
+                    help="fail when the telemetry wall-clock overhead "
+                         "fraction exceeds FRAC (e.g. 0.6 = 60%%)")
+    ap.add_argument("--ledger", default=None, metavar="PATH",
+                    help="append every run to this JSONL run ledger")
     args = ap.parse_args(argv)
 
     runs = run_suite(args.elems, args.nprocs, args.stress_ranks,
                      args.repeats)
+    obs_rec, invariants = measure_obs_overhead(args.elems, args.nprocs,
+                                               args.repeats)
+    runs.append(obs_rec)
+    if args.obs_budget is not None \
+            and obs_rec["obs_overhead_frac"] > args.obs_budget:
+        invariants.append(
+            f"obs overhead {obs_rec['obs_overhead_frac']:.1%} exceeds "
+            f"budget {args.obs_budget:.1%}"
+        )
 
-    problems: list[str] = []
-    ref_doc = None
-    if os.path.exists(args.ref):
-        with open(args.ref) as f:
-            ref_doc = json.load(f)
-        ref_params = ref_doc.get("params", {})
-        our_params = {"elems_per_proc": args.elems, "nprocs": args.nprocs,
-                      "stress_ranks": args.stress_ranks}
-        if all(ref_params.get(k) == v for k, v in our_params.items()):
-            problems, compared = compare(runs, ref_doc)
-            if args.check_ref and not compared:
-                problems.append("reference matched no workloads")
-        elif args.check_ref:
-            problems.append(
-                f"reference params {ref_params} do not cover this run "
-                f"({our_params}); cannot check drift"
-            )
-    elif args.check_ref:
-        problems.append(f"reference {args.ref} not found")
+    from repro.obs.ledger import check_reference
+
+    problems = check_reference(
+        runs, args.ref,
+        our_params={"elems_per_proc": args.elems, "nprocs": args.nprocs,
+                    "stress_ranks": args.stress_ranks},
+        check_ref=args.check_ref, exact=VIRTUAL_FIELDS,
+        check_digest=False, annotate_wall=True,
+    )
 
     doc = {
         "schema_version": SCHEMA_VERSION,
@@ -197,16 +245,26 @@ def main(argv=None) -> int:
     with open(args.output, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
+    if args.ledger:
+        from repro.obs.ledger import Ledger
+
+        n = Ledger(args.ledger).append_doc(doc)
+        print(f"appended {n} runs to {args.ledger}")
 
     for run in runs:
         speed = run.get("speedup_vs_reference")
         extra = f"  ({speed:.1f}x vs reference)" if speed else ""
         print(f"{run['workload']:32s} {run['wall_seconds']:8.3f}s "
               f"vtime={run['vtime']:.6g}{extra}")
+    print(f"obs overhead: {obs_rec['obs_overhead_frac']:+.1%} "
+          f"({obs_rec['wall_seconds']:.3f}s instrumented vs "
+          f"{obs_rec['wall_obs_off']:.3f}s disabled)")
     print(f"wrote {args.output}: {len(runs)} runs, "
           f"schema v{SCHEMA_VERSION}")
-    for p in problems:
+    for p in invariants + problems:
         print(f"ERROR: {p}", file=sys.stderr)
+    if invariants:
+        return 1  # telemetry invariants and budget always fail
     return 1 if (problems and args.check_ref) else 0
 
 

@@ -107,6 +107,8 @@ class NativeVOL(VOLBase):
             return
         rank = comm.world_rank(comm.rank)
         obs.metrics.inc(name, nbytes, rank=rank, file=fname)
+        # Longitudinal view: bytes hitting the PFS over virtual time.
+        obs.series.record(name, comm.vtime, nbytes, rank=rank)
         # Striped files spread large transfers evenly over the OSTs.
         nost = self.lustre.stripe_count
         per_ost = nbytes / nost

@@ -33,7 +33,7 @@ from repro.h5.errors import NotFoundError
 from repro.h5.objects import DatasetNode, FileNode, GroupNode
 from repro.lowfive.profile import PhaseStats, Profiler
 from repro.lowfive.reduce import reduced_nbytes, reduction_stride, subsample
-from repro.obs import span as obs_span
+from repro.obs import obs_of, span as obs_span
 from repro.lowfive.rpc import Defer, Reply, RetryPolicy, RPCClient, RPCServer
 from repro.simmpi import payload_nbytes
 from repro.lowfive.vol_metadata import LFFile, LFToken, MetadataVOL
@@ -104,6 +104,11 @@ class DistMetadataVOL(MetadataVOL):
     def __init__(self, comm, under=None, config=None, costs=None):
         super().__init__(under, config, costs)
         self.comm = comm
+        # The cost model owns telemetry sizing: bound the machine's
+        # flight-recorder rings as configured.
+        obs = obs_of(comm)
+        if obs is not None:
+            obs.flight.set_capacity(self.costs.flight_capacity)
         #: Retry policy every remote-file RPC client is built with, so
         #: metadata/intersects/read calls ride out injected losses.
         self.rpc_retry = RetryPolicy(

@@ -18,7 +18,14 @@ phases, PFS I/O, workflow tasks -- behind a single API:
   the virtual timeline with per-category/per-phase breakdowns;
 - :mod:`repro.obs.export` -- Chrome/Perfetto ``trace_event`` JSON
   (including ``s``/``f`` flow arrows for message edges) and plain-dict
-  metrics dumps.
+  metrics dumps;
+- :mod:`repro.obs.series` -- bounded-memory virtual-clock time series
+  (windowed min/max/mean aggregates, mergeable across ranks);
+- :mod:`repro.obs.ledger` -- persistent per-run manifests
+  (:class:`~repro.obs.ledger.RunRecord`) in a JSONL ledger plus the
+  unified cross-run drift comparator behind ``repro.tools regress``;
+- :mod:`repro.obs.noop` -- a disabled drop-in context for measuring
+  telemetry overhead.
 
 Instrumentation points reach the context through their communicator::
 
@@ -61,7 +68,22 @@ from repro.obs.metrics import (
     MetricsSnapshot,
     merge_snapshots,
 )
+from repro.obs.ledger import (
+    Ledger,
+    RunRecord,
+    check_reference,
+    compare_runs,
+    record_from_result,
+)
+from repro.obs.noop import NullObsContext
 from repro.obs.recorder import FlightEvent, FlightRecorder
+from repro.obs.series import (
+    BoundSeries,
+    SeriesRecorder,
+    SeriesSnapshot,
+    SeriesValue,
+    series_dump,
+)
 from repro.obs.spans import InstantEvent, SpanEvent, SpanRecorder
 from repro.obs.streamstat import StreamEvent, StreamLedger
 
@@ -97,6 +119,17 @@ __all__ = [
     "write_chrome_trace",
     "validate_chrome_trace",
     "metrics_dump",
+    "SeriesRecorder",
+    "SeriesSnapshot",
+    "SeriesValue",
+    "BoundSeries",
+    "series_dump",
+    "Ledger",
+    "RunRecord",
+    "record_from_result",
+    "compare_runs",
+    "check_reference",
+    "NullObsContext",
 ]
 
 
@@ -117,6 +150,8 @@ class ObsContext:
         self.causal = CausalRecorder()
         #: Epoch-lifecycle events of streaming pipelines.
         self.stream = StreamLedger()
+        #: Bounded virtual-time series of the hot gauges.
+        self.series = SeriesRecorder()
         self._rank_tasks: dict[int, str] = {}
 
     # -- task topology (pid/tid mapping for export) ------------------------
@@ -133,6 +168,22 @@ class ObsContext:
     def rank_tasks(self) -> dict:
         """Copy of the world-rank -> task-name map."""
         return dict(self._rank_tasks)
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self, name: str, t: float, value: float, *, rank=None,
+               volatile: bool = False, **labels) -> None:
+        """Record ``value`` as both a point-in-time gauge and a window
+        of the virtual-time series ``name``.
+
+        ``volatile=True`` marks series whose values depend on real
+        thread interleaving (e.g. mailbox depth sampled at delivery);
+        they are kept out of deterministic run digests.
+        """
+        if rank is not None:
+            labels["rank"] = rank
+        self.metrics.set(name, value, **labels)
+        self.series.record(name, t, value, volatile=volatile, **labels)
 
     # -- fault annotations --------------------------------------------------
 

@@ -112,9 +112,14 @@ def chrome_trace(obs, events=()) -> dict:
                 "pid": pid_of(edge.dst), "tid": edge.dst,
             })
 
+    other = {"clock": "virtual", "metrics": metrics_dump(obs.metrics)}
+    series = getattr(obs, "series", None)
+    if series is not None:
+        dumped = series.to_dict()
+        if dumped:
+            other["series"] = dumped
     return {"traceEvents": out, "displayTimeUnit": "ms",
-            "otherData": {"clock": "virtual",
-                          "metrics": metrics_dump(obs.metrics)}}
+            "otherData": other}
 
 
 def write_chrome_trace(path: str, obs, events=()) -> dict:

@@ -117,6 +117,40 @@ class HistogramValue:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float):
+        """Bucket-interpolated quantile estimate (``None`` when empty).
+
+        The base-2 bucket containing the order statistic is exact;
+        within it the estimate interpolates linearly between the bucket
+        bounds, then clamps to the observed ``[min, max]``. For values
+        ``>= 1`` the estimate is always within a factor of two of the
+        true order statistic (bucket 0 spans all of ``(0, 1]``, so no
+        such bound holds below 1), and merging histograms can only
+        move it within that bound (buckets merge without re-binning).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        seen = 0.0
+        # None bucket (non-positive values) sorts lowest.
+        ordered = sorted(self.buckets.items(),
+                         key=lambda kv: (kv[0] is not None, kv[0] or 0))
+        for b, n in ordered:
+            if seen + n >= target or (b, n) == ordered[-1]:
+                if b is None:
+                    lo, hi = self.vmin, min(0.0, self.vmax)
+                elif b == 0:
+                    lo, hi = 0.0, 1.0
+                else:
+                    lo, hi = 2.0 ** (b - 1), 2.0 ** b
+                frac = (target - seen) / n if n else 0.0
+                est = lo + min(max(frac, 0.0), 1.0) * (hi - lo)
+                return min(max(est, self.vmin), self.vmax)
+            seen += n
+        return self.vmax  # unreachable; defensive
+
     def to_json(self):
         return {
             "buckets": {str(b): n for b, n in sorted(

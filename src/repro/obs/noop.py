@@ -1,0 +1,253 @@
+"""Disabled observability: a drop-in ObsContext that records nothing.
+
+Used to measure telemetry overhead (``bench_wallclock --obs-budget``):
+run the same workload once with the real :class:`~repro.obs.ObsContext`
+and once with :class:`NullObsContext`, and compare wall clocks. Virtual
+results must be identical -- observability never changes simulation
+semantics, only how much of it is remembered.
+
+Every producer-side surface of the real context exists here as a no-op
+with the same signature shape. The one subtlety is
+:meth:`NullCausal.account`: :mod:`repro.simmpi.comm` mutates the
+returned ledger's ``compute``/``transfer``/``wait`` attributes
+directly, so the null recorder hands out one shared throwaway
+:class:`~repro.obs.causal.RankAccount` whose contents are never read.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.causal import RankAccount
+
+
+class NullMetrics:
+    """No-op :class:`~repro.obs.metrics.MetricsRegistry`."""
+
+    def inc(self, name, value=1, **labels):
+        pass
+
+    def set(self, name, value, **labels):
+        pass
+
+    def observe(self, name, value, **labels):
+        pass
+
+    def counter(self, name, **labels):
+        return _NULL_BOUND_COUNTER
+
+    def snapshot(self):
+        from repro.obs.metrics import MetricsSnapshot
+
+        return MetricsSnapshot()
+
+    def to_dict(self):
+        return {}
+
+
+class _NullBoundCounter:
+    def add(self, value=1):
+        pass
+
+    inc = add
+
+
+class NullSpans:
+    """No-op :class:`~repro.obs.spans.SpanRecorder`."""
+
+    def begin(self, rank, name, cat, t0, labels=None):
+        return None
+
+    def end(self, open_span, t1):
+        pass
+
+    def add(self, *a, **kw):
+        pass
+
+    def instant(self, *a, **kw):
+        pass
+
+    def spans(self, **filters):
+        return []
+
+    def instants(self):
+        return []
+
+    @property
+    def total(self):
+        return 0
+
+
+class NullFlight:
+    """No-op :class:`~repro.obs.recorder.FlightRecorder`."""
+
+    capacity = 0
+
+    def record(self, rank, t, kind, what="", **labels):
+        pass
+
+    def append(self, *a, **kw):
+        pass
+
+    def set_capacity(self, capacity):
+        pass
+
+    def events(self, rank=None):
+        return []
+
+    def ranks(self):
+        return []
+
+    def dump(self):
+        return {}
+
+
+class NullCausal:
+    """No-op :class:`~repro.obs.causal.CausalRecorder`.
+
+    ``account`` returns a shared discardable ledger because callers
+    mutate its attributes in place rather than calling methods.
+    """
+
+    def __init__(self):
+        self._scratch = RankAccount(-1)
+
+    def account(self, rank):
+        return self._scratch
+
+    def edge(self, **kw):
+        return None
+
+    def collective(self, *a, **kw):
+        return None
+
+    def post(self, *a, **kw):
+        pass
+
+    def consume(self, msg_id):
+        pass
+
+    def match(self, *a, **kw):
+        pass
+
+    def edges(self, *a, **kw):
+        return []
+
+    def collectives(self):
+        return []
+
+    def accounts(self):
+        return {}
+
+    def posts(self):
+        return []
+
+    def consumed_ids(self):
+        return set()
+
+    def matches(self):
+        return []
+
+
+class NullStream:
+    """No-op :class:`~repro.obs.streamstat.StreamLedger`."""
+
+    def publish(self, *a, **kw):
+        pass
+
+    def acquire(self, *a, **kw):
+        pass
+
+    def release(self, *a, **kw):
+        pass
+
+    def drop(self, *a, **kw):
+        pass
+
+    def events(self, *a, **kw):
+        return []
+
+    def streams(self):
+        return []
+
+    def max_depth(self, *a, **kw):
+        return 0
+
+    def open_acquisitions(self):
+        return []
+
+    def snapshot(self):
+        return self
+
+    def merge(self, other):
+        return self
+
+
+class NullSeries:
+    """No-op :class:`~repro.obs.series.SeriesRecorder`."""
+
+    def record(self, name, t, value, **kw):
+        pass
+
+    def bound(self, name, **kw):
+        return _NULL_BOUND_SERIES
+
+    def snapshot(self):
+        from repro.obs.series import SeriesSnapshot
+
+        return SeriesSnapshot()
+
+    def to_dict(self):
+        return {}
+
+
+class _NullBoundSeries:
+    def record(self, t, value):
+        pass
+
+
+_NULL_BOUND_COUNTER = _NullBoundCounter()
+_NULL_BOUND_SERIES = _NullBoundSeries()
+
+
+class NullObsContext:
+    """Telemetry-disabled stand-in for :class:`~repro.obs.ObsContext`.
+
+    Pass as ``Engine(obs=...)`` / ``Workflow.run(obs=...)`` to run the
+    identical simulation with every recording surface stubbed out.
+    """
+
+    def __init__(self):
+        self.metrics = NullMetrics()
+        self.spans = NullSpans()
+        self.flight = NullFlight()
+        self.causal = NullCausal()
+        self.stream = NullStream()
+        self.series = NullSeries()
+        self._rank_tasks: dict[int, str] = {}
+
+    def set_task(self, task, world_ranks):
+        pass
+
+    def task_of(self, rank):
+        return None
+
+    def rank_tasks(self):
+        return {}
+
+    def sample(self, name, t, value, *, rank=None, volatile=False,
+               **labels):
+        pass
+
+    def fault(self, rank, t, kind, **labels):
+        pass
+
+    @contextmanager
+    def span(self, comm, name, cat="", **labels):
+        yield None
+
+    def chrome_trace(self, events=()):
+        raise ValueError("observability is disabled for this run")
+
+    def write_chrome_trace(self, path, events=()):
+        raise ValueError("observability is disabled for this run")

@@ -53,6 +53,23 @@ class FlightRecorder:
         self._rings: dict[int, deque] = {}
         self._lock = threading.Lock()
 
+    def set_capacity(self, capacity: int) -> None:
+        """Re-bound every ring to ``capacity`` events per rank.
+
+        Existing rings keep their newest events (a shrink evicts from
+        the old end, like normal ring overflow). Configured from
+        :class:`~repro.lowfive.config.CostConfig.flight_capacity` when
+        a VOL attaches to the machine.
+        """
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        with self._lock:
+            if capacity == self.capacity:
+                return
+            self.capacity = capacity
+            self._rings = {r: deque(ring, maxlen=capacity)
+                           for r, ring in self._rings.items()}
+
     def record(self, rank: int, vtime: float, kind: str, name: str,
                **detail) -> None:
         """Append one event to ``rank``'s ring (evicting the oldest)."""

@@ -188,6 +188,11 @@ class Engine:
         # bound counters so the per-event hot path never rebuilds
         # metric keys (benign race: duplicate handles bind one slot).
         self._evt_counters: dict[tuple, tuple] = {}
+        # rank -> bound series handle for mailbox-depth sampling at
+        # delivery. Volatile: the depth seen at a given delivery depends
+        # on real thread interleaving, so the series never feeds
+        # deterministic run digests.
+        self._mbox_series: dict[int, object] = {}
         self.procs = [Proc(i) for i in range(nprocs)]
         self.failure: BaseException | None = None
         self._failed = threading.Event()
@@ -564,6 +569,14 @@ class Engine:
                     and spec[2] in (ANY_TAG, msg.tag))
             ):
                 dst.cond.notify_all()
+            depth = sum(len(m) for m in dst.mailbox.values())
+        series = self._mbox_series.get(msg.dst_world)
+        if series is None:
+            series = self.obs.series.bound(
+                "simmpi.mailbox_depth", rank=msg.dst_world, volatile=True
+            )
+            self._mbox_series[msg.dst_world] = series
+        series.record(msg.arrival, depth)
         # Delivery marker on the *destination* ring (written from the
         # sender's thread; FlightRecorder serializes appends).
         self.obs.flight.append(

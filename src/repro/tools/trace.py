@@ -37,14 +37,27 @@ def run_demo_workflow(nprod: int = 4, ncons: int = 2,
 
 
 def export_demo_trace(path: str, nprod: int = 4, ncons: int = 2,
-                      mode: str = "memory") -> dict:
+                      mode: str = "memory", metrics: bool = False) -> dict:
     """Run the demo workflow and write its Chrome trace to ``path``.
 
     Returns the trace document (also written to disk), so callers and
-    tests can inspect it without re-reading the file.
+    tests can inspect it without re-reading the file. With
+    ``metrics=True`` the metrics snapshot and virtual-time series are
+    additionally dumped as ``<path>.metrics.json``.
     """
     res = run_demo_workflow(nprod, ncons, mode)
-    return write_chrome_trace(path, res.obs, res.trace)
+    doc = write_chrome_trace(path, res.obs, res.trace)
+    if metrics:
+        import json
+
+        from repro.obs import metrics_dump, series_dump
+
+        side = {"metrics": metrics_dump(res.obs.metrics),
+                "series": series_dump(res.obs.series)}
+        with open(path + ".metrics.json", "w") as f:
+            json.dump(side, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return doc
 
 
 def trace_summary(doc: dict) -> str:

@@ -52,22 +52,27 @@ def main(argv=None) -> int:
     """``python -m repro.tools h5dump|h5ls <dir> <file>``,
     ``python -m repro.tools trace <out.json>``,
     ``python -m repro.tools critpath [--strict ...]``,
-    ``python -m repro.tools analyze [--example fig5 ...]`` or
-    ``python -m repro.tools lint [paths ...]``."""
+    ``python -m repro.tools analyze [--example fig5 ...]``,
+    ``python -m repro.tools lint [paths ...]``,
+    ``python -m repro.tools regress <doc> --ref <ref>`` or
+    ``python -m repro.tools report <out.html>``."""
     import argparse
 
     from repro.tools.analyze import add_parser as add_analyze
     from repro.tools.critpath import add_parser as add_critpath
     from repro.tools.inspect import h5dump, h5ls
     from repro.tools.lint import add_parser as add_lint
+    from repro.tools.regress import add_parser as add_regress
+    from repro.tools.report import add_parser as add_report
 
     ap = argparse.ArgumentParser(
         prog="repro.tools",
         description="Inspect native-format files exported from a "
                     "simulated PFS, export a demo run as a Chrome "
                     "trace, run the causal critical-path analysis, "
-                    "check a schedule for races, or lint virtual-time "
-                    "code.",
+                    "check a schedule for races, lint virtual-time "
+                    "code, gate a run against a reference, or render "
+                    "an HTML run report.",
     )
     sub = ap.add_subparsers(dest="command", required=True)
     for cmd, fn in (("h5ls", h5ls), ("h5dump", h5dump)):
@@ -88,20 +93,29 @@ def main(argv=None) -> int:
                     help="consumer ranks (default 2)")
     pt.add_argument("--mode", choices=["memory", "file", "both"],
                     default="memory", help="LowFive transport mode")
+    pt.add_argument("--metrics", action="store_true",
+                    help="also dump the metrics snapshot (and series) "
+                         "as <output>.metrics.json next to the trace")
     add_critpath(sub)
     add_analyze(sub)
     add_lint(sub)
+    add_regress(sub)
+    add_report(sub)
     args = ap.parse_args(argv)
 
-    if args.command in ("critpath", "analyze", "lint"):
+    if args.command in ("critpath", "analyze", "lint", "regress",
+                        "report"):
         return args.run(args)
 
     if args.command == "trace":
         from repro.tools.trace import export_demo_trace, trace_summary
 
         doc = export_demo_trace(args.output, nprod=args.nprod,
-                                ncons=args.ncons, mode=args.mode)
+                                ncons=args.ncons, mode=args.mode,
+                                metrics=args.metrics)
         print(f"wrote {args.output}: {trace_summary(doc)}")
+        if args.metrics:
+            print(f"wrote {args.output}.metrics.json")
         return 0
 
     store = import_store(args.directory)

@@ -80,6 +80,16 @@ class WorkflowResult:
             )
         return analyze(self.obs, self.clocks, tol=tol)
 
+    def run_record(self, workload: str, **kw):
+        """Distill this run into a ledger
+        :class:`~repro.obs.ledger.RunRecord` (see
+        :func:`repro.obs.ledger.record_from_result` for the keyword
+        arguments: ``mode``, ``params``, ``seed``, ``costs``,
+        ``wall_seconds``, ``extra``...)."""
+        from repro.obs.ledger import record_from_result
+
+        return record_from_result(self, workload, **kw)
+
 
 class Workflow:
     """A directed graph of tasks linked producer -> consumer.
@@ -165,7 +175,8 @@ class Workflow:
 
     def run(self, model: NetworkModel | None = None,
             timeout: float = 60.0, trace: bool = False, faults=None,
-            restart: RestartPolicy | None = None) -> WorkflowResult:
+            restart: RestartPolicy | None = None,
+            obs=None) -> WorkflowResult:
         """Execute the workflow on a fresh simulated machine.
 
         With ``trace=True`` every communication event is recorded and
@@ -173,7 +184,10 @@ class Workflow:
         :mod:`repro.tools.timeline`). ``faults`` installs a
         :class:`~repro.faults.FaultPlan` on the machine; ``restart``
         governs recovery when an injected crash kills a rank (default:
-        the :class:`~repro.simmpi.RankFailure` propagates).
+        the :class:`~repro.simmpi.RankFailure` propagates). ``obs``
+        overrides the machine's observability context -- pass a
+        :class:`~repro.obs.noop.NullObsContext` to run with telemetry
+        disabled (overhead measurement).
         """
         if not self._tasks:
             raise ValueError("no tasks declared")
@@ -187,7 +201,7 @@ class Workflow:
             tries_here += 1
             try:
                 result = self._run_once(include, model, timeout, trace,
-                                        faults, attempts)
+                                        faults, attempts, obs)
             except RankFailure as exc:
                 if tries_here <= policy.max_retries:
                     continue
@@ -237,12 +251,13 @@ class Workflow:
         return component
 
     def _run_once(self, include: list, model, timeout: float, trace: bool,
-                  faults, attempt: int) -> WorkflowResult:
+                  faults, attempt: int, obs=None) -> WorkflowResult:
         """One machine run of the tasks named in ``include``."""
         tasks = [t for t in self._tasks if t.name in include]
         engine = Engine(sum(t.nprocs for t in tasks), model=model,
-                        timeout=timeout, trace=trace, faults=faults)
-        engine.obs.metrics.set("workflow.attempt", attempt)
+                        timeout=timeout, trace=trace, faults=faults,
+                        obs=obs)
+        engine.obs.sample("workflow.attempt", 0.0, attempt)
 
         # Contiguous rank ranges per task.
         ranges: dict[str, list[int]] = {}

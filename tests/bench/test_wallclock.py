@@ -91,7 +91,12 @@ class TestCli:
         assert rc == 0
         doc = json.loads(out.read_text())
         assert doc["schema_version"] == harness.SCHEMA_VERSION == 1
-        assert len(doc["runs"]) == 4
+        assert len(doc["runs"]) == 5  # 4 workloads + obs self-accounting
+        obs = [r for r in doc["runs"]
+               if r["workload"].startswith("obs/overhead/")]
+        assert len(obs) == 1
+        assert obs[0]["wall_obs_off"] > 0
+        assert "obs_overhead_frac" in obs[0]
 
     def test_check_ref_fails_on_drift(self, harness, tmp_path):
         out = tmp_path / "first.json"

@@ -4,7 +4,7 @@ import json
 import math
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.obs.metrics import (
     CounterValue,
@@ -143,6 +143,81 @@ class TestHistograms:
         assert m.buckets[bucket_index(3)] == 2
         assert m.buckets[bucket_index(1000)] == 1
         assert m.count == 3
+
+
+class TestQuantiles:
+    def test_empty_and_bad_q(self):
+        assert HistogramValue().quantile(0.5) is None
+        h = HistogramValue()
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_single_sample_is_exact(self):
+        h = HistogramValue()
+        h.observe(7.0)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == 7.0  # clamped to [min, max]
+
+    def test_extremes_hit_min_and_max(self):
+        h = HistogramValue()
+        for v in (1.0, 3.0, 100.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_nonpositive_bucket_uses_observed_range(self):
+        h = HistogramValue()
+        h.observe(-4.0)
+        h.observe(-2.0)
+        est = h.quantile(0.5)
+        assert -4.0 <= est <= 0.0
+
+    # The factor-of-two guarantee holds for samples >= 1: bucket 0
+    # spans (0, 1], which is wider than a factor of two, so the bound
+    # cannot apply below 1.
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=40),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_estimate_within_factor_two_of_order_statistic(
+            self, values, q):
+        h = HistogramValue()
+        for v in values:
+            h.observe(v)
+        est = h.quantile(q)
+        ordered = sorted(values)
+        true = ordered[min(len(ordered) - 1,
+                           max(0, math.ceil(q * len(ordered)) - 1))]
+        assert true / 2 <= est <= 2 * true
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=30),
+           st.lists(st.floats(min_value=1.0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=30),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_merge_preserves_quantile_bounds(self, xs, ys, q):
+        # Merging never re-bins, so the merged estimate obeys the same
+        # factor-of-two bound as a histogram built from the union.
+        a, b, u = HistogramValue(), HistogramValue(), HistogramValue()
+        for v in xs:
+            a.observe(v)
+            u.observe(v)
+        for v in ys:
+            b.observe(v)
+            u.observe(v)
+        m = a.merge(b)
+        assert m.quantile(q) == u.quantile(q)
+        both = sorted(xs + ys)
+        true = both[min(len(both) - 1,
+                        max(0, math.ceil(q * len(both)) - 1))]
+        assert true / 2 <= m.quantile(q) <= 2 * true
 
 
 class TestSnapshots:

@@ -1,0 +1,92 @@
+"""Disabled observability: the null context must be a perfect no-op."""
+
+import pytest
+
+from repro.obs.noop import NullObsContext
+
+
+class TestNullSurface:
+    """Every producer-side call the instrumented layers make must be
+    accepted silently."""
+
+    def test_metrics_calls_are_noops(self):
+        obs = NullObsContext()
+        obs.metrics.inc("x", 5, rank=0)
+        obs.metrics.set("g", 1.0)
+        obs.metrics.observe("h", 2.0)
+        obs.metrics.counter("x", rank=0).inc(3)
+        assert obs.metrics.to_dict() == {}
+        assert obs.metrics.snapshot().data == {}
+
+    def test_series_calls_are_noops(self):
+        obs = NullObsContext()
+        obs.series.record("q", 0.5, 1.0, rank=0)
+        obs.series.bound("q", rank=1, volatile=True).record(0.0, 2.0)
+        assert obs.series.snapshot().data == {}
+        obs.sample("q", 0.5, 1.0, rank=0, volatile=True)
+
+    def test_span_yields_none(self):
+        obs = NullObsContext()
+        with obs.span("phase", "cat", rank=0) as sp:
+            assert sp is None
+
+    def test_flight_and_stream_and_causal(self):
+        obs = NullObsContext()
+        obs.flight.record(0, 0.0, "send", "m", peer=1)
+        obs.flight.set_capacity(4)
+        acct = obs.causal.account(0)
+        acct.compute += 1.0  # comm.py mutates accounts directly
+        acct.wait += 0.5
+        obs.stream.publish("s", 0, 0, 0.0, 1)
+        assert obs.stream.snapshot() is obs.stream
+
+    def test_task_tracking_is_noop(self):
+        obs = NullObsContext()
+        obs.set_task(0, "producer")
+        assert obs.task_of(0) is None
+        assert obs.rank_tasks() == {}
+
+    def test_trace_export_refuses(self):
+        obs = NullObsContext()
+        with pytest.raises(ValueError, match="disabled"):
+            obs.chrome_trace()
+
+
+class TestSimulationUnperturbed:
+    """Telemetry must never change virtual results: the same workflow
+    with obs disabled produces identical vtime/messages/bytes."""
+
+    def test_workflow_results_identical(self):
+        from repro.bench.drivers import _lowfive_wf
+        from repro.perfmodel.transports import THETA_KNL
+        from repro.pfs import PFSStore
+        from repro.synth import SyntheticWorkload
+
+        wl = SyntheticWorkload(grid_points_per_proc=512,
+                               particles_per_proc=256)
+
+        def run(obs):
+            wf = _lowfive_wf(2, 1, wl, THETA_KNL, "memory", PFSStore())
+            return wf.run(model=THETA_KNL.net, obs=obs)
+
+        on, off = run(None), run(NullObsContext())
+        assert all(off.returns["consumer"])
+        assert on.vtime == off.vtime
+        assert on.messages == off.messages
+        assert on.bytes_sent == off.bytes_sent
+
+    def test_record_from_result_with_disabled_obs(self):
+        from repro.bench.drivers import _lowfive_wf
+        from repro.obs.ledger import record_from_result
+        from repro.perfmodel.transports import THETA_KNL
+        from repro.pfs import PFSStore
+        from repro.synth import SyntheticWorkload
+
+        wl = SyntheticWorkload(grid_points_per_proc=512,
+                               particles_per_proc=256)
+        wf = _lowfive_wf(2, 1, wl, THETA_KNL, "memory", PFSStore())
+        res = wf.run(model=THETA_KNL.net, obs=NullObsContext())
+        rec = record_from_result(res, "demo")
+        assert rec.counters == {}
+        assert rec.series == {}
+        assert rec.vtime == res.vtime

@@ -98,3 +98,73 @@ class TestDump:
         assert list(d) == [2]
         assert d[2][0] == {"vtime": 0.5, "rank": 2, "kind": "coll",
                            "name": "mpi.barrier", "nbytes": 0}
+
+
+class TestSetCapacity:
+    def test_shrink_keeps_newest_per_rank(self):
+        fr = FlightRecorder(capacity=8)
+        for i in range(8):
+            fr.record(0, float(i), "tick", str(i))
+        fr.record(1, 100.0, "tick", "other")
+        fr.set_capacity(3)
+        assert fr.capacity == 3
+        assert [e.name for e in fr.events(0)] == ["5", "6", "7"]
+        assert [e.name for e in fr.events(1)] == ["other"]
+
+    def test_grow_keeps_everything_and_raises_bound(self):
+        fr = FlightRecorder(capacity=2)
+        for i in range(5):
+            fr.record(0, float(i), "tick", str(i))
+        fr.set_capacity(4)
+        assert [e.name for e in fr.events(0)] == ["3", "4"]
+        for i in range(5, 8):
+            fr.record(0, float(i), "tick", str(i))
+        assert len(fr.events(0)) == 4  # new bound in force
+
+    def test_same_capacity_is_a_noop(self):
+        fr = FlightRecorder(capacity=4)
+        fr.record(0, 0.0, "tick", "a")
+        fr.set_capacity(4)
+        assert [e.name for e in fr.events(0)] == ["a"]
+
+    def test_rejects_nonpositive(self):
+        fr = FlightRecorder()
+        with pytest.raises(ValueError):
+            fr.set_capacity(0)
+
+    def test_overflow_ordering_survives_resize(self):
+        # Events stay time-ordered across shrink + continued appends.
+        fr = FlightRecorder(capacity=6)
+        for i in range(6):
+            fr.record(0, float(i), "tick", str(i))
+        fr.set_capacity(2)
+        fr.record(0, 6.0, "tick", "6")
+        times = [e.vtime for e in fr.events(0)]
+        assert times == sorted(times) == [5.0, 6.0]
+
+
+class TestCostConfigWiring:
+    def test_flight_capacity_flows_from_cost_config(self):
+        from dataclasses import replace
+
+        from repro.bench.drivers import _lowfive_wf
+        from repro.perfmodel.transports import THETA_KNL
+        from repro.pfs import PFSStore
+        from repro.synth import SyntheticWorkload
+
+        machine = replace(
+            THETA_KNL, lf=replace(THETA_KNL.lf, flight_capacity=7))
+        wl = SyntheticWorkload(grid_points_per_proc=256,
+                               particles_per_proc=128)
+        wf = _lowfive_wf(2, 1, wl, machine, "memory", PFSStore())
+        res = wf.run(model=machine.net)
+        assert all(res.returns["consumer"])
+        assert res.obs.flight.capacity == 7
+        assert all(len(res.obs.flight.events(r)) <= 7
+                   for r in res.obs.flight.ranks())
+
+    def test_cost_config_validates_flight_capacity(self):
+        from repro.lowfive.config import CostConfig
+
+        with pytest.raises(ValueError):
+            CostConfig(flight_capacity=0)
