@@ -13,12 +13,18 @@ collective-mismatch, message-leak and stream-epoch-leak checks
 **Static** (needs only source text): the ANL00x lint rules
 (:mod:`repro.analyze.lint`) that keep wall-clock reads, dropped
 request handles, raw thread primitives and float clock equality out of
-virtual-time code.
+virtual-time code, and the PRO00x protocol verifier
+(:mod:`repro.analyze.proto`) that proves collective agreement,
+point-to-point matching, deadlock freedom and handle hygiene of
+rank-body code for every rank and branch -- before anything runs.
 
-Command line: ``python -m repro.tools analyze`` / ``... lint``.
+Command line: ``python -m repro.tools analyze`` / ``... lint`` /
+``... proto``.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 from repro.analyze.checks import (
     check_collectives,
@@ -36,6 +42,12 @@ from repro.analyze.finding import (
     msg_label,
 )
 from repro.analyze.lint import RULES, Violation, lint_paths, lint_source
+from repro.analyze.proto import (
+    PROTO_RULES,
+    ProtoFinding,
+    check_paths as check_proto_paths,
+    check_source as check_proto_source,
+)
 from repro.analyze.races import find_races
 from repro.analyze.vclock import (
     HBRelation,
@@ -52,6 +64,8 @@ __all__ = [
     "Finding",
     "HBRelation",
     "MESSAGE_LEAK",
+    "PROTO_RULES",
+    "ProtoFinding",
     "RULES",
     "TraceInconsistency",
     "Violation",
@@ -60,6 +74,8 @@ __all__ = [
     "build_happens_before",
     "check_collectives",
     "check_leaks",
+    "check_proto_paths",
+    "check_proto_source",
     "check_stream_leaks",
     "concurrent",
     "explain_deadlock",
@@ -73,7 +89,7 @@ __all__ = [
 ]
 
 
-def analyze_obs(obs, nranks: int | None = None) -> list[Finding]:
+def analyze_obs(obs: Any, nranks: int | None = None) -> list[Finding]:
     """Run every dynamic check over one recorded run.
 
     Returns all findings -- wildcard races, collective mismatches,

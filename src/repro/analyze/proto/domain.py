@@ -1,0 +1,205 @@
+"""Symbolic rank/tag/comm domain for the static protocol checker.
+
+The abstract interpreter tracks every value as a :class:`Sym`:
+
+========  ===========================================================
+CONST     A known python constant (``0``, ``"grid"``, ``None``).
+RANK      ``rank + off`` -- the calling rank's id plus a constant.
+NPROCS    ``nprocs + off`` -- the communicator size plus a constant.
+INTERVAL  An integer interval ``[lo, hi]`` (e.g. a loop variable over
+          ``range(nprocs)`` when ``nprocs`` is not bound).
+TOP       Anything else (unknown).
+========  ===========================================================
+
+This is deliberately tiny: it is exactly enough to resolve the guards
+and address arithmetic that real rank bodies use (``if rank == 0:``,
+``dest=(rank + 1) % nprocs``, ``tag=BASE + rank``), while everything
+data-dependent collapses to TOP and forks the path instead of guessing.
+
+Under a :class:`Binding` (concrete ``rank``/``nprocs``, used by the
+closed-world rules), RANK/NPROCS symbols evaluate to plain ints and
+the same arithmetic becomes exact.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+CONST = "const"
+RANK = "rank"
+NPROCS = "nprocs"
+INTERVAL = "interval"
+TOP = "top"
+
+
+@dataclass(frozen=True)
+class Sym:
+    """One abstract value. ``val`` holds the constant for CONST,
+    ``off`` the additive offset for RANK/NPROCS, ``lo``/``hi`` the
+    INTERVAL bounds."""
+
+    kind: str
+    val: object = None
+    off: int = 0
+    lo: int = 0
+    hi: int = 0
+
+    def render(self) -> str:
+        """Human form used in finding witnesses."""
+        if self.kind == CONST:
+            return repr(self.val)
+        if self.kind == RANK:
+            return f"rank{self.off:+d}" if self.off else "rank"
+        if self.kind == NPROCS:
+            return f"nprocs{self.off:+d}" if self.off else "nprocs"
+        if self.kind == INTERVAL:
+            return f"[{self.lo}..{self.hi}]"
+        return "?"
+
+
+SYM_TOP = Sym(TOP)
+SYM_RANK = Sym(RANK)
+SYM_NPROCS = Sym(NPROCS)
+
+
+def const(value: object) -> Sym:
+    """The CONST symbol for ``value``."""
+    return Sym(CONST, val=value)
+
+
+@dataclass(frozen=True)
+class Binding:
+    """Concrete ``rank``/``nprocs`` assignment for closed-world runs."""
+
+    rank: int
+    nprocs: int
+
+
+def is_rankish(s: Sym) -> bool:
+    """True when ``s`` depends on the calling rank's identity."""
+    return s.kind == RANK
+
+
+def evaluate(s: Sym, binding: Binding | None) -> object | None:
+    """Concrete value of ``s`` under ``binding``, or None if unknown."""
+    if s.kind == CONST:
+        return s.val
+    if binding is None:
+        return None
+    if s.kind == RANK:
+        return binding.rank + s.off
+    if s.kind == NPROCS:
+        return binding.nprocs + s.off
+    return None
+
+
+def _as_int(s: Sym, binding: Binding | None) -> int | None:
+    v = evaluate(s, binding)
+    return v if isinstance(v, int) and not isinstance(v, bool) else None
+
+
+def add(a: Sym, b: Sym, binding: Binding | None = None) -> Sym:
+    """Abstract ``a + b``."""
+    av, bv = _as_int(a, binding), _as_int(b, binding)
+    if av is not None and bv is not None:
+        return const(av + bv)
+    if a.kind == CONST and b.kind == CONST \
+            and isinstance(a.val, str) and isinstance(b.val, str):
+        return const(a.val + b.val)
+    for x, y in ((a, b), (b, a)):
+        yv = _as_int(y, binding)
+        if x.kind in (RANK, NPROCS) and yv is not None:
+            return Sym(x.kind, off=x.off + yv)
+        if x.kind == INTERVAL and yv is not None:
+            return Sym(INTERVAL, lo=x.lo + yv, hi=x.hi + yv)
+    return SYM_TOP
+
+
+def sub(a: Sym, b: Sym, binding: Binding | None = None) -> Sym:
+    """Abstract ``a - b``."""
+    av, bv = _as_int(a, binding), _as_int(b, binding)
+    if av is not None and bv is not None:
+        return const(av - bv)
+    if a.kind in (RANK, NPROCS) and bv is not None:
+        return Sym(a.kind, off=a.off - bv)
+    if a.kind == INTERVAL and bv is not None:
+        return Sym(INTERVAL, lo=a.lo - bv, hi=a.hi - bv)
+    if a.kind == b.kind and a.kind in (RANK, NPROCS):
+        return const(a.off - b.off)
+    return SYM_TOP
+
+
+def binop(op: ast.operator, a: Sym, b: Sym,
+          binding: Binding | None = None) -> Sym:
+    """Abstract binary arithmetic; exact when both sides are concrete."""
+    if isinstance(op, ast.Add):
+        return add(a, b, binding)
+    if isinstance(op, ast.Sub):
+        return sub(a, b, binding)
+    av, bv = _as_int(a, binding), _as_int(b, binding)
+    if av is not None and bv is not None:
+        try:
+            if isinstance(op, ast.Mult):
+                return const(av * bv)
+            if isinstance(op, ast.Mod):
+                return const(av % bv)
+            if isinstance(op, ast.FloorDiv):
+                return const(av // bv)
+        except (ZeroDivisionError, ValueError):
+            return SYM_TOP
+    return SYM_TOP
+
+
+def compare(op: ast.cmpop, a: Sym, b: Sym,
+            binding: Binding | None = None) -> bool | None:
+    """Abstract comparison: True/False when decidable, else None.
+
+    Decidable cases: both sides concrete (possibly via ``binding``);
+    RANK vs RANK / NPROCS vs NPROCS with offsets; an INTERVAL wholly
+    on one side of a constant.
+    """
+    av, bv = evaluate(a, binding), evaluate(b, binding)
+    if av is not None and bv is not None:
+        try:
+            if isinstance(op, ast.Eq):
+                return bool(av == bv)
+            if isinstance(op, ast.NotEq):
+                return bool(av != bv)
+            if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+                assert isinstance(av, (int, float)) \
+                    and isinstance(bv, (int, float))
+                if isinstance(op, ast.Lt):
+                    return av < bv
+                if isinstance(op, ast.LtE):
+                    return av <= bv
+                if isinstance(op, ast.Gt):
+                    return av > bv
+                return av >= bv
+        except TypeError:
+            return None
+    if a.kind == b.kind and a.kind in (RANK, NPROCS):
+        d = a.off - b.off
+        if isinstance(op, ast.Eq):
+            return d == 0
+        if isinstance(op, ast.NotEq):
+            return d != 0
+        if isinstance(op, ast.Lt):
+            return True if d < 0 else (False if d >= 0 else None)
+        if isinstance(op, ast.LtE):
+            return d <= 0
+        if isinstance(op, ast.Gt):
+            return d > 0
+        if isinstance(op, ast.GtE):
+            return d >= 0
+    bi = _as_int(b, binding)
+    if a.kind == INTERVAL and bi is not None:
+        if isinstance(op, ast.Eq) and (bi < a.lo or bi > a.hi):
+            return False
+        if isinstance(op, ast.NotEq) and (bi < a.lo or bi > a.hi):
+            return True
+        if isinstance(op, ast.Lt):
+            return True if a.hi < bi else (False if a.lo >= bi else None)
+        if isinstance(op, ast.Gt):
+            return True if a.lo > bi else (False if a.hi <= bi else None)
+    return None

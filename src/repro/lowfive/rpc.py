@@ -231,7 +231,7 @@ class RPCServer:
             except Defer:
                 self._pending.append((inter, payload, source))
                 return
-            except Exception as exc:  # noqa: BLE001 - forwarded to caller
+            except Exception as exc:  # noqa: BLE001,ANL006 - forwarded to caller
                 inter.send((False, f"{type(exc).__name__}: {exc}"), source,
                            TAG_REPLY)
                 return

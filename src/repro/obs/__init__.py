@@ -37,7 +37,9 @@ Instrumentation points reach the context through their communicator::
 
 from __future__ import annotations
 
-from contextlib import contextmanager, nullcontext
+from collections.abc import Iterable, Iterator
+from contextlib import AbstractContextManager, contextmanager, nullcontext
+from typing import Any, cast
 
 from repro.obs.causal import (
     CausalRecorder,
@@ -142,7 +144,7 @@ class ObsContext:
         Per-rank ring-buffer size of the always-on flight recorder.
     """
 
-    def __init__(self, flight_capacity: int = 256):
+    def __init__(self, flight_capacity: int = 256) -> None:
         self.metrics = MetricsRegistry()
         self.spans = SpanRecorder()
         self.flight = FlightRecorder(flight_capacity)
@@ -156,7 +158,7 @@ class ObsContext:
 
     # -- task topology (pid/tid mapping for export) ------------------------
 
-    def set_task(self, task: str, world_ranks) -> None:
+    def set_task(self, task: str, world_ranks: Iterable[int]) -> None:
         """Declare that ``world_ranks`` belong to workflow task ``task``."""
         for r in world_ranks:
             self._rank_tasks[r] = task
@@ -165,14 +167,15 @@ class ObsContext:
         """The task owning world rank ``rank`` (or ``None``)."""
         return self._rank_tasks.get(rank)
 
-    def rank_tasks(self) -> dict:
+    def rank_tasks(self) -> dict[int, str]:
         """Copy of the world-rank -> task-name map."""
         return dict(self._rank_tasks)
 
     # -- sampling ----------------------------------------------------------
 
-    def sample(self, name: str, t: float, value: float, *, rank=None,
-               volatile: bool = False, **labels) -> None:
+    def sample(self, name: str, t: float, value: float, *,
+               rank: object = None, volatile: bool = False,
+               **labels: object) -> None:
         """Record ``value`` as both a point-in-time gauge and a window
         of the virtual-time series ``name``.
 
@@ -187,7 +190,8 @@ class ObsContext:
 
     # -- fault annotations --------------------------------------------------
 
-    def fault(self, rank: int, t: float, kind: str, **labels) -> None:
+    def fault(self, rank: int, t: float, kind: str,
+              **labels: object) -> None:
         """Account one injected fault on ``rank`` at virtual time ``t``.
 
         Bumps the ``faults.injected`` counter (labelled by ``kind`` and
@@ -201,7 +205,8 @@ class ObsContext:
     # -- span production ---------------------------------------------------
 
     @contextmanager
-    def span(self, comm, name: str, cat: str = "", **labels):
+    def span(self, comm: Any, name: str, cat: str = "",
+             **labels: object) -> Iterator[Any]:
         """Measure a region of ``comm``'s calling rank in virtual time.
 
         Yields the open-span handle. No-op when ``comm`` is None (code
@@ -223,24 +228,26 @@ class ObsContext:
 
     # -- export ------------------------------------------------------------
 
-    def chrome_trace(self, events=()) -> dict:
+    def chrome_trace(self, events: Iterable[Any] = ()) -> dict[str, object]:
         """Chrome ``trace_event`` document (see :mod:`repro.obs.export`)."""
         return chrome_trace(self, events)
 
-    def write_chrome_trace(self, path: str, events=()) -> dict:
+    def write_chrome_trace(self, path: str,
+                           events: Iterable[Any] = ()) -> dict[str, object]:
         """Export the trace as JSON at ``path``."""
         return write_chrome_trace(path, self, events)
 
 
-def obs_of(comm) -> ObsContext | None:
+def obs_of(comm: Any) -> ObsContext | None:
     """The :class:`ObsContext` reachable from ``comm`` (or ``None``)."""
     if comm is None:
         return None
     engine = getattr(comm, "engine", None)
-    return getattr(engine, "obs", None)
+    return cast("ObsContext | None", getattr(engine, "obs", None))
 
 
-def span(comm, name: str, cat: str = "", **labels):
+def span(comm: Any, name: str, cat: str = "",
+         **labels: object) -> AbstractContextManager[Any]:
     """Context manager measuring a span on ``comm``'s calling rank.
 
     Resolves the machine's :class:`ObsContext` through the

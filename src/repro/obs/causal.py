@@ -29,7 +29,12 @@ post time ``t_post``::
 from __future__ import annotations
 
 import threading
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.spans import SpanEvent
 
 #: Receiver idled because the sender had not posted yet.
 LATE_SENDER = "late-sender"
@@ -143,7 +148,7 @@ class MatchRecord:
     tag: int  # the spec (ANY_TAG = -1)
     msg_id: int  # the message the schedule chose
     t_match: float  # receiver's clock when the match committed
-    candidates: tuple
+    candidates: tuple[Any, ...]
 
 
 @dataclass(frozen=True)
@@ -163,11 +168,11 @@ class CollectiveRecord:
     kind: str
     comm_id: int
     nbytes: int
-    enter_clocks: dict
+    enter_clocks: dict[int, float]
     t_ready: float
     t_end: float
     straggler: int
-    kinds: dict = field(default_factory=dict)
+    kinds: dict[int, str] = field(default_factory=dict)
 
     @property
     def transfer(self) -> float:
@@ -189,7 +194,7 @@ class RankAccount:
 
     __slots__ = ("rank", "compute", "transfer", "wait")
 
-    def __init__(self, rank: int):
+    def __init__(self, rank: int) -> None:
         self.rank = rank
         self.compute = 0.0
         self.transfer = 0.0
@@ -200,7 +205,7 @@ class RankAccount:
         """Accounted seconds (should equal the rank's final clock)."""
         return self.compute + self.transfer + self.wait
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {"rank": self.rank, "compute": self.compute,
                 "transfer": self.transfer, "wait": self.wait}
 
@@ -213,7 +218,7 @@ class CausalRecorder:
     volume tracks message count, not payload size.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
         self._edges: list[FlowEdge] = []
         self._colls: list[CollectiveRecord] = []
@@ -233,7 +238,7 @@ class CausalRecorder:
                 acct = self._accounts.setdefault(rank, RankAccount(rank))
         return acct
 
-    def edge(self, **kw) -> FlowEdge:
+    def edge(self, **kw: Any) -> FlowEdge:
         """Record one matched receive (fields of :class:`FlowEdge`)."""
         e = FlowEdge(**kw)
         with self._lock:
@@ -241,8 +246,9 @@ class CausalRecorder:
         return e
 
     def collective(self, kind: str, comm_id: int, nbytes: int,
-                   enter_clocks: dict, t_ready: float,
-                   t_end: float, kinds: dict | None = None) -> CollectiveRecord:
+                   enter_clocks: dict[int, float], t_ready: float,
+                   t_end: float,
+                   kinds: dict[int, str] | None = None) -> CollectiveRecord:
         """Record one completed collective; derives the straggler."""
         straggler = max(enter_clocks,
                         key=lambda r: (enter_clocks[r], r))
@@ -270,7 +276,8 @@ class CausalRecorder:
             self._consumed.add(msg_id)
 
     def match(self, dst: int, comm_id: int, source: int, tag: int,
-              msg_id: int, t_match: float, candidates: tuple) -> None:
+              msg_id: int, t_match: float,
+              candidates: tuple[Any, ...]) -> None:
         """Record a wildcard match and its candidate-set snapshot."""
         rec = MatchRecord(dst, comm_id, source, tag, msg_id, t_match,
                           candidates)
@@ -297,7 +304,7 @@ class CausalRecorder:
         with self._lock:
             return list(self._colls)
 
-    def accounts(self) -> dict:
+    def accounts(self) -> dict[int, RankAccount]:
         """Copy of the rank -> :class:`RankAccount` map, in rank order
         (iteration order must not leak thread-scheduling order)."""
         with self._lock:
@@ -308,7 +315,7 @@ class CausalRecorder:
         with self._lock:
             return [self._posts[k] for k in sorted(self._posts)]
 
-    def consumed_ids(self) -> set:
+    def consumed_ids(self) -> set[int]:
         """Message ids satisfied by a receive (either twin counts)."""
         with self._lock:
             return set(self._consumed)
@@ -326,7 +333,8 @@ class CausalRecorder:
 # -- cause attribution -------------------------------------------------------
 
 
-def dominant_span(spans, a: float, b: float):
+def dominant_span(spans: Iterable[SpanEvent], a: float,
+                  b: float) -> SpanEvent | None:
     """The innermost span covering most of ``[a, b]`` (or ``None``).
 
     ``spans`` are one rank's :class:`~repro.obs.spans.SpanEvent` list.
@@ -344,7 +352,7 @@ def dominant_span(spans, a: float, b: float):
                   | {max(a, s.t0) for s in overl}
                   | {min(b, s.t1) for s in overl})
     totals: dict[int, float] = {}
-    by_id = {}
+    by_id: dict[int, SpanEvent] = {}
     for p0, p1 in zip(cuts, cuts[1:]):
         if p1 <= p0:
             continue
@@ -385,20 +393,21 @@ class WaitState:
     category: str
     cause_rank: int
     cause_span: str = ""
-    detail: dict = field(default_factory=dict)
+    detail: dict[str, object] = field(default_factory=dict)
 
     @property
     def seconds(self) -> float:
         return self.t1 - self.t0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {"rank": self.rank, "t0": self.t0, "t1": self.t1,
                 "seconds": self.seconds, "category": self.category,
                 "cause_rank": self.cause_rank,
                 "cause_span": self.cause_span, **self.detail}
 
 
-def _classify_edge(edge: FlowEdge, cause_span, recv_span=None) -> str:
+def _classify_edge(edge: FlowEdge, cause_span: SpanEvent | None,
+                   recv_span: SpanEvent | None = None) -> str:
     """Wait category of a late receive, from the sender's activity
     (and, for backpressure, the receiver's)."""
     if recv_span is not None and recv_span.name == _BACKPRESSURE_SPAN:
@@ -418,7 +427,7 @@ def _classify_edge(edge: FlowEdge, cause_span, recv_span=None) -> str:
     return LATE_SENDER
 
 
-def classify_waits(obs, tol: float = 1e-12) -> list[WaitState]:
+def classify_waits(obs: Any, tol: float = 1e-12) -> list[WaitState]:
     """Classify every blocked interval recorded by ``obs.causal``.
 
     Returns :class:`WaitState` entries sorted by start time. Excluding
@@ -427,7 +436,7 @@ def classify_waits(obs, tol: float = 1e-12) -> list[WaitState]:
     cross-check :func:`conservation` enforces.
     """
     causal = obs.causal
-    spans_by_rank: dict[int, list] = {}
+    spans_by_rank: dict[int, list[SpanEvent]] = {}
     for s in obs.spans.spans():
         spans_by_rank.setdefault(s.rank, []).append(s)
     out: list[WaitState] = []
@@ -503,7 +512,7 @@ class ConservationRow:
 class ConservationReport:
     """Outcome of :func:`conservation` over every rank."""
 
-    rows: tuple
+    rows: tuple[ConservationRow, ...]
     tol: float
 
     @property
@@ -534,7 +543,7 @@ class ConservationReport:
             f"wait residual {worst.wait_residual:.3e}, tol {self.tol:g})"
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "ok": self.ok,
             "tol": self.tol,
@@ -550,8 +559,8 @@ class ConservationReport:
         }
 
 
-def conservation(obs, clocks, tol: float = 1e-9,
-                 waits=None) -> ConservationReport:
+def conservation(obs: Any, clocks: Sequence[float], tol: float = 1e-9,
+                 waits: list[WaitState] | None = None) -> ConservationReport:
     """Check compute+transfer+wait == final clock on every rank.
 
     ``clocks`` is the per-rank final-clock list from the run result.
@@ -567,7 +576,7 @@ def conservation(obs, clocks, tol: float = 1e-9,
     for w in waits:
         if w.category != EARLY_SENDER:
             classified[w.rank] = classified.get(w.rank, 0.0) + w.seconds
-    rows = []
+    rows: list[ConservationRow] = []
     for rank, clock in enumerate(clocks):
         acct = accounts.get(rank)
         if acct is None:

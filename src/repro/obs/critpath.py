@@ -24,13 +24,22 @@ the wait-state table and conservation check from
 from __future__ import annotations
 
 from bisect import bisect_right
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, cast
 
 from repro.obs.causal import (
+    ConservationReport,
+    RankAccount,
+    WaitState,
     classify_waits,
     conservation,
     dominant_span,
 )
+
+if TYPE_CHECKING:
+    from repro.obs.causal import CollectiveRecord, FlowEdge
+    from repro.obs.spans import SpanEvent
 
 #: Critical-path categories (span cat -> category is :data:`_CAT`).
 CATEGORIES = ("simmpi", "lowfive", "pfs", "compute", "wait")
@@ -61,14 +70,14 @@ class Segment:
     kind: str
     category: str
     detail: str = ""
-    category_seconds: tuple = ()
-    phase_seconds: tuple = ()
+    category_seconds: tuple[tuple[str, float], ...] = ()
+    phase_seconds: tuple[tuple[str, float], ...] = ()
 
     @property
     def duration(self) -> float:
         return self.t1 - self.t0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {"rank": self.rank, "t0": self.t0, "t1": self.t1,
                 "duration": self.duration, "kind": self.kind,
                 "category": self.category, "detail": self.detail,
@@ -81,7 +90,7 @@ class CriticalPath:
     """The extracted path, chronological (first segment starts at 0)."""
 
     makespan: float
-    segments: tuple
+    segments: tuple[Segment, ...]
 
     @property
     def total(self) -> float:
@@ -93,7 +102,7 @@ class CriticalPath:
         """``makespan - total``; exactness means ``|residual| ~ 0``."""
         return self.makespan - self.total
 
-    def category_breakdown(self) -> dict:
+    def category_breakdown(self) -> dict[str, float]:
         """Seconds per category over the whole path (all keys present)."""
         out = {c: 0.0 for c in CATEGORIES}
         for s in self.segments:
@@ -101,7 +110,7 @@ class CriticalPath:
                 out[cat] = out.get(cat, 0.0) + sec
         return out
 
-    def category_shares(self) -> dict:
+    def category_shares(self) -> dict[str, float]:
         """Category fractions of the path (zeros on an empty path)."""
         total = self.total
         bd = self.category_breakdown()
@@ -109,7 +118,7 @@ class CriticalPath:
             return {c: 0.0 for c in bd}
         return {c: sec / total for c, sec in bd.items()}
 
-    def phase_breakdown(self) -> dict:
+    def phase_breakdown(self) -> dict[str, float]:
         """Seconds per ``phase`` label along the path."""
         out: dict[str, float] = {}
         for s in self.segments:
@@ -117,14 +126,14 @@ class CriticalPath:
                 out[ph] = out.get(ph, 0.0) + sec
         return out
 
-    def rank_residence(self) -> dict:
+    def rank_residence(self) -> dict[int, float]:
         """Seconds the path spends on each rank (wire -> the sender)."""
         out: dict[int, float] = {}
         for s in self.segments:
             out[s.rank] = out.get(s.rank, 0.0) + s.duration
         return out
 
-    def top_segments(self, k: int = 10) -> list:
+    def top_segments(self, k: int = 10) -> list[Segment]:
         """The ``k`` longest segments, descending."""
         return sorted(self.segments,
                       key=lambda s: -s.duration)[:max(0, k)]
@@ -135,14 +144,18 @@ class _Event:
 
     __slots__ = ("t_end", "kind", "edge", "rec")
 
-    def __init__(self, t_end, kind, edge=None, rec=None):
+    def __init__(self, t_end: float, kind: str,
+                 edge: FlowEdge | None = None,
+                 rec: CollectiveRecord | None = None) -> None:
         self.t_end = t_end
         self.kind = kind
         self.edge = edge
         self.rec = rec
 
 
-def _split_interval(spans, a: float, b: float):
+def _split_interval(
+    spans: Iterable[SpanEvent], a: float, b: float,
+) -> tuple[dict[str, float], dict[str, float]]:
     """Partition ``[a, b]`` by the deepest enclosing span.
 
     Returns ``(category_seconds, phase_seconds)`` dicts; the category
@@ -170,8 +183,9 @@ def _split_interval(spans, a: float, b: float):
             cat = _CAT.get(deepest.cat, "compute")
             labelled = [s for s in containing if "phase" in s.labels]
             if labelled:
-                ph = min(labelled,
-                         key=lambda s: (s.t1 - s.t0, -s.t0)).labels["phase"]
+                ph = cast(str, min(
+                    labelled,
+                    key=lambda s: (s.t1 - s.t0, -s.t0)).labels["phase"])
                 phases[ph] = phases.get(ph, 0.0) + d
         else:
             cat = "compute"
@@ -179,16 +193,17 @@ def _split_interval(spans, a: float, b: float):
     return cats, phases
 
 
-def _phase_at(spans, t: float) -> str | None:
+def _phase_at(spans: Iterable[SpanEvent], t: float) -> str | None:
     """Innermost ``phase`` label covering instant ``t`` (or ``None``)."""
     containing = [s for s in spans
                   if s.t0 <= t <= s.t1 and "phase" in s.labels]
     if not containing:
         return None
-    return min(containing, key=lambda s: (s.t1 - s.t0, -s.t0)).labels["phase"]
+    return cast(str, min(containing,
+                         key=lambda s: (s.t1 - s.t0, -s.t0)).labels["phase"])
 
 
-def critical_path(obs, clocks) -> CriticalPath:
+def critical_path(obs: Any, clocks: Sequence[float]) -> CriticalPath:
     """Extract the critical path of a finished run.
 
     ``obs`` is the run's :class:`~repro.obs.ObsContext` (with its
@@ -200,7 +215,7 @@ def critical_path(obs, clocks) -> CriticalPath:
     if makespan <= 0.0:
         return CriticalPath(max(makespan, 0.0), ())
 
-    spans_by_rank: dict[int, list] = {}
+    spans_by_rank: dict[int, list[SpanEvent]] = {}
     for s in obs.spans.spans():
         spans_by_rank.setdefault(s.rank, []).append(s)
 
@@ -254,6 +269,7 @@ def critical_path(obs, clocks) -> CriticalPath:
         hi[cur_rank] = idx
         if ev.kind == "recv":
             e = ev.edge
+            assert e is not None
             phase = _phase_at(spans_by_rank.get(e.dst, ()), cur_t)
             pseq = ((phase, 0.0),) if phase else ()
             if e.wait > 0.0:
@@ -290,6 +306,7 @@ def critical_path(obs, clocks) -> CriticalPath:
                 cur_t = e.t_recv_start
         else:
             rec = ev.rec
+            assert rec is not None
             phase = _phase_at(spans_by_rank.get(cur_rank, ()),
                               0.5 * (rec.t_ready + rec.t_end))
             d = cur_t - rec.t_ready
@@ -308,7 +325,7 @@ def critical_path(obs, clocks) -> CriticalPath:
 # -- combined report ---------------------------------------------------------
 
 
-def imbalance(accounts, nranks: int) -> float:
+def imbalance(accounts: Mapping[int, RankAccount], nranks: int) -> float:
     """Load-imbalance metric over per-rank *compute* seconds.
 
     The classic ``max/mean - 1`` (0 = perfectly balanced); ranks with
@@ -330,20 +347,20 @@ class CausalReport:
 
     makespan: float
     path: CriticalPath
-    waits: tuple
-    conservation: object  # ConservationReport
+    waits: tuple[WaitState, ...]
+    conservation: ConservationReport
     imbalance: float
     #: Aggregate compute/transfer/wait fractions of total rank-seconds.
-    shares: dict = field(default_factory=dict)
+    shares: dict[str, float] = field(default_factory=dict)
 
-    def wait_by_category(self) -> dict:
+    def wait_by_category(self) -> dict[str, float]:
         """Idle seconds per wait-state category (across all ranks)."""
         out: dict[str, float] = {}
         for w in self.waits:
             out[w.category] = out.get(w.category, 0.0) + w.seconds
         return out
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, object]:
         """Flat JSON-able summary (used by benchmarks and snapshots)."""
         return {
             "makespan": self.makespan,
@@ -357,7 +374,7 @@ class CausalReport:
             "max_residual": self.conservation.max_residual,
         }
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """Full JSON-able report (CLI ``--report`` output)."""
         d = self.summary()
         d["segments"] = [s.to_dict() for s in self.path.segments]
@@ -366,7 +383,8 @@ class CausalReport:
         return d
 
 
-def analyze(obs, clocks, tol: float = 1e-9) -> CausalReport:
+def analyze(obs: Any, clocks: Sequence[float],
+            tol: float = 1e-9) -> CausalReport:
     """Run the full causal analysis of a finished run.
 
     Extracts the critical path, classifies wait states, checks

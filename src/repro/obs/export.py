@@ -14,6 +14,8 @@ arrows between the sender's and receiver's tracks.
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable
+from typing import Any
 
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 
@@ -24,16 +26,16 @@ _US = 1e6
 WORLD_PID = 0
 
 
-def _pids(obs) -> dict:
+def _pids(obs: Any) -> dict[str, int]:
     """Task name -> pid (1-based, in task-declaration order)."""
-    tasks = []
+    tasks: list[str] = []
     for task in obs.rank_tasks().values():
         if task not in tasks:
             tasks.append(task)
     return {t: i + 1 for i, t in enumerate(tasks)}
 
 
-def chrome_trace(obs, events=()) -> dict:
+def chrome_trace(obs: Any, events: Iterable[Any] = ()) -> dict[str, object]:
     """Build a Chrome ``trace_event`` document from an
     :class:`~repro.obs.ObsContext` plus optional legacy
     :class:`~repro.simmpi.engine.TraceEvent` records.
@@ -47,10 +49,10 @@ def chrome_trace(obs, events=()) -> dict:
     def pid_of(rank: int) -> int:
         return pids.get(rank_tasks.get(rank), WORLD_PID)
 
-    out = []
-    seen_threads = set()
+    out: list[dict[str, object]] = []
+    seen_threads: set[tuple[int, int]] = set()
 
-    def thread_meta(rank: int):
+    def thread_meta(rank: int) -> None:
         pid = pid_of(rank)
         if (pid, rank) in seen_threads:
             return
@@ -112,7 +114,8 @@ def chrome_trace(obs, events=()) -> dict:
                 "pid": pid_of(edge.dst), "tid": edge.dst,
             })
 
-    other = {"clock": "virtual", "metrics": metrics_dump(obs.metrics)}
+    other: dict[str, object] = {"clock": "virtual",
+                                "metrics": metrics_dump(obs.metrics)}
     series = getattr(obs, "series", None)
     if series is not None:
         dumped = series.to_dict()
@@ -122,7 +125,8 @@ def chrome_trace(obs, events=()) -> dict:
             "otherData": other}
 
 
-def write_chrome_trace(path: str, obs, events=()) -> dict:
+def write_chrome_trace(path: str, obs: Any,
+                       events: Iterable[Any] = ()) -> dict[str, object]:
     """Export ``obs`` (plus legacy events) as JSON at ``path``."""
     doc = chrome_trace(obs, events)
     with open(path, "w") as f:
@@ -130,7 +134,7 @@ def write_chrome_trace(path: str, obs, events=()) -> dict:
     return doc
 
 
-def validate_chrome_trace(doc: dict) -> None:
+def validate_chrome_trace(doc: object) -> None:
     """Raise ``ValueError`` unless ``doc`` is a well-formed trace.
 
     Checks the envelope and the per-event required fields for the
@@ -163,7 +167,7 @@ def validate_chrome_trace(doc: dict) -> None:
     json.dumps(doc)  # must be serializable as-is
 
 
-def metrics_dump(metrics) -> dict:
+def metrics_dump(metrics: object) -> dict[str, dict[str, object]]:
     """Plain-dict dump of a registry or snapshot (JSON-able)."""
     if isinstance(metrics, MetricsRegistry):
         metrics = metrics.snapshot()

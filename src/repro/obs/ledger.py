@@ -24,7 +24,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections.abc import Sequence
 from dataclasses import asdict, dataclass, field, is_dataclass
+from typing import Any
 
 #: Bump when the record layout changes incompatibly.
 SCHEMA_VERSION = 1
@@ -38,11 +40,11 @@ VOLATILE_FIELDS = ("wall_seconds", "created_at", "git_rev",
                    "ref_wall_seconds", "speedup_vs_reference")
 
 
-def _canonical(doc) -> bytes:
+def _canonical(doc: object) -> bytes:
     return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
 
 
-def cost_digest(costs) -> str | None:
+def cost_digest(costs: Any) -> str | None:
     """Stable digest of a cost-model dataclass (e.g. ``CostConfig``)."""
     if costs is None:
         return None
@@ -68,11 +70,11 @@ def git_rev() -> str | None:
             cwd=os.path.dirname(os.path.abspath(__file__)),
         )
         return out.stdout.strip() or None
-    except Exception:  # noqa: BLE001 - telemetry must never fail a run
+    except Exception:  # noqa: BLE001,ANL006 - telemetry must never fail a run
         return None
 
 
-def counter_totals(metrics_doc: dict | None) -> dict:
+def counter_totals(metrics_doc: dict[str, Any] | None) -> dict[str, float]:
     """Aggregate a metrics dump's counters to per-name totals.
 
     Label sets (``rank=``, ``file=``, ...) fold together, so the result
@@ -106,28 +108,28 @@ class RunRecord:
     nprocs: int = 0
     mode: str | None = None
     seed: int | None = None
-    params: dict = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
     cost_digest: str | None = None
     git_rev: str | None = None
     wall_seconds: float | None = None
     created_at: str | None = None
     attempts: int = 1
-    failed_tasks: tuple = ()
+    failed_tasks: tuple[str, ...] = ()
     #: Per-name counter totals (labels folded), deterministic.
-    counters: dict = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
     #: Causal summary: critpath shares/phases, wait taxonomy, shares.
-    attribution: dict | None = None
+    attribution: dict[str, Any] | None = None
     #: Stable series digests (volatile series excluded).
-    series: dict = field(default_factory=dict)
+    series: dict[str, str] = field(default_factory=dict)
     #: Free-form digest-stable extras (data digests, levels, depths).
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, Any]:
         doc = asdict(self)
         doc["failed_tasks"] = list(self.failed_tasks)
         return doc
 
-    def stable_json(self) -> dict:
+    def stable_json(self) -> dict[str, Any]:
         """The record minus every volatile field."""
         doc = self.to_json()
         for k in VOLATILE_FIELDS:
@@ -141,7 +143,7 @@ class RunRecord:
                                digest_size=8).hexdigest()
 
     @classmethod
-    def from_json(cls, doc: dict) -> "RunRecord":
+    def from_json(cls, doc: dict[str, Any]) -> "RunRecord":
         known = {f for f in cls.__dataclass_fields__}
         kw = {k: v for k, v in doc.items() if k in known}
         kw["failed_tasks"] = tuple(kw.get("failed_tasks", ()))
@@ -151,11 +153,12 @@ class RunRecord:
         return cls(**kw)
 
 
-def record_from_result(res, workload: str, *, mode: str | None = None,
-                       params: dict | None = None, seed: int | None = None,
-                       costs=None, wall_seconds: float | None = None,
+def record_from_result(res: Any, workload: str, *, mode: str | None = None,
+                       params: dict[str, Any] | None = None,
+                       seed: int | None = None,
+                       costs: Any = None, wall_seconds: float | None = None,
                        created_at: str | None = None,
-                       extra: dict | None = None,
+                       extra: dict[str, Any] | None = None,
                        attribution: bool = True) -> RunRecord:
     """Distill a finished run into a :class:`RunRecord`.
 
@@ -165,24 +168,24 @@ def record_from_result(res, workload: str, *, mode: str | None = None,
     ``clocks``, ``attempts``, ``failed_tasks``.
     """
     obs = getattr(res, "obs", None)
-    counters: dict = {}
-    series: dict = {}
+    counters: dict[str, float] = {}
+    series: dict[str, str] = {}
     if obs is not None:
         try:
             counters = counter_totals(obs.metrics.to_dict())
-        except Exception:  # noqa: BLE001 - disabled/noop obs
+        except Exception:  # noqa: BLE001,ANL006 - disabled/noop obs
             counters = {}
         recorder = getattr(obs, "series", None)
         if recorder is not None:
             try:
                 series = recorder.snapshot().digests()
-            except Exception:  # noqa: BLE001 - disabled/noop obs
+            except Exception:  # noqa: BLE001,ANL006 - disabled/noop obs
                 series = {}
     attr = None
     if attribution and obs is not None and getattr(res, "clocks", None):
         try:
             attr = res.causal_report().summary()
-        except Exception:  # noqa: BLE001 - results without causal data
+        except Exception:  # noqa: BLE001,ANL006 - results without causal data
             attr = None
     nprocs = len(getattr(res, "clocks", ()) or ())
     return RunRecord(
@@ -207,10 +210,11 @@ def record_from_result(res, workload: str, *, mode: str | None = None,
     )
 
 
-def record_from_run(run: dict, *, params: dict | None = None,
+def record_from_run(run: dict[str, Any], *,
+                    params: dict[str, Any] | None = None,
                     mode: str | None = None,
                     created_at: str | None = None,
-                    costs=None) -> RunRecord:
+                    costs: Any = None) -> RunRecord:
     """Build a record from a bench-document run dict.
 
     Fields the bench already computed (``workload``, the exact virtual
@@ -240,7 +244,7 @@ def record_from_run(run: dict, *, params: dict | None = None,
 class Ledger:
     """Append-only JSONL file of :class:`RunRecord` lines."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str) -> None:
         self.path = path
 
     def append(self, record: RunRecord) -> None:
@@ -252,7 +256,7 @@ class Ledger:
                       separators=(",", ":"))
             f.write("\n")
 
-    def append_doc(self, doc: dict, *, mode: str | None = None,
+    def append_doc(self, doc: dict[str, Any], *, mode: str | None = None,
                    created_at: str | None = None) -> int:
         """Append every run of a bench document; returns the count."""
         n = 0
@@ -266,7 +270,7 @@ class Ledger:
         """Every record in file order (missing file = empty ledger)."""
         if not os.path.exists(self.path):
             return []
-        out = []
+        out: list[RunRecord] = []
         with open(self.path) as f:
             for line in f:
                 line = line.strip()
@@ -282,10 +286,10 @@ class Ledger:
                 found = rec
         return found
 
-    def runs_doc(self) -> dict:
+    def runs_doc(self) -> dict[str, Any]:
         """The ledger as a comparator-ready ``{"runs": [...]}`` doc,
         keeping only the newest record per workload."""
-        by_key: dict[str, dict] = {}
+        by_key: dict[str, dict[str, Any]] = {}
         for rec in self.records():
             by_key[rec.workload] = rec.to_json()
         return {"schema_version": SCHEMA_VERSION,
@@ -295,9 +299,9 @@ class Ledger:
 # -- the unified comparator ---------------------------------------------------
 
 
-def _get_path(doc: dict, dotted: str):
+def _get_path(doc: dict[str, Any], dotted: str) -> Any:
     """Resolve ``"attribution.shares.wait"`` through nested dicts."""
-    cur = doc
+    cur: Any = doc
     for part in dotted.split("."):
         if not isinstance(cur, dict) or part not in cur:
             return None
@@ -305,9 +309,10 @@ def _get_path(doc: dict, dotted: str):
     return cur
 
 
-def compare_runs(runs: list, ref: dict, *, exact=EXACT_FIELDS,
+def compare_runs(runs: list[dict[str, Any]], ref: dict[str, Any], *,
+                 exact: Sequence[str] = EXACT_FIELDS,
                  check_digest: bool = True, annotate_wall: bool = False,
-                 tolerances: dict | None = None,
+                 tolerances: dict[str, float] | None = None,
                  key: str = "workload") -> tuple[list[str], bool]:
     """Compare run dicts against a reference document's runs.
 
@@ -363,7 +368,7 @@ def compare_runs(runs: list, ref: dict, *, exact=EXACT_FIELDS,
     return problems, compared
 
 
-def load_runs_doc(path: str) -> dict:
+def load_runs_doc(path: str) -> dict[str, Any]:
     """Load a run document: bench JSON (``{"runs": [...]}``) or a
     JSONL ledger (one record per line)."""
     if path.endswith(".jsonl"):
@@ -372,16 +377,18 @@ def load_runs_doc(path: str) -> dict:
         head = f.read(1)
         f.seek(0)
         if head == "{":
-            return json.load(f)
+            doc: dict[str, Any] = json.load(f)
+            return doc
     return Ledger(path).runs_doc()
 
 
-def check_reference(runs: list, ref_path: str, *,
-                    our_params: dict | None = None,
-                    check_ref: bool = False, exact=EXACT_FIELDS,
+def check_reference(runs: list[dict[str, Any]], ref_path: str, *,
+                    our_params: dict[str, Any] | None = None,
+                    check_ref: bool = False,
+                    exact: Sequence[str] = EXACT_FIELDS,
                     check_digest: bool = True,
                     annotate_wall: bool = False,
-                    tolerances: dict | None = None) -> list[str]:
+                    tolerances: dict[str, float] | None = None) -> list[str]:
     """The shared reference-gate wrapper every bench driver uses.
 
     Handles the guard conditions identically to the three pre-existing

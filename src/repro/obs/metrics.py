@@ -24,14 +24,18 @@ from __future__ import annotations
 import math
 import threading
 from dataclasses import dataclass, field
+from typing import Any, cast
+
+#: Canonical metric key: ``(name, sorted (label, value) pairs)``.
+Key = tuple[str, tuple[tuple[str, object], ...]]
 
 
-def metric_key(name: str, labels: dict) -> tuple:
+def metric_key(name: str, labels: dict[str, object]) -> Key:
     """Canonical hashable key for ``(name, labels)``."""
     return (name, tuple(sorted(labels.items())))
 
 
-def key_str(key: tuple) -> str:
+def key_str(key: Key) -> str:
     """Prometheus-flavoured rendering: ``name{k=v,...}``."""
     name, labels = key
     if not labels:
@@ -55,7 +59,7 @@ class CounterValue:
         return CounterValue(self.total + other.total,
                             self.count + other.count)
 
-    def to_json(self):
+    def to_json(self) -> dict[str, object]:
         return {"total": self.total, "count": self.count}
 
 
@@ -72,13 +76,14 @@ class GaugeValue:
 
     def merge(self, other: "GaugeValue") -> "GaugeValue":
         a, b = (self.seq, self.value), (other.seq, other.value)
-        return GaugeValue(*reversed(max(a, b)))
+        seq, value = max(a, b)
+        return GaugeValue(value, seq)
 
-    def to_json(self):
+    def to_json(self) -> dict[str, object]:
         return {"value": self.value, "seq": self.seq}
 
 
-def bucket_index(value: float):
+def bucket_index(value: float) -> int | None:
     """Exponential bucket of ``value``: smallest ``i`` with
     ``2**i >= value`` (and ``None`` for values <= 0)."""
     if value <= 0:
@@ -90,7 +95,7 @@ def bucket_index(value: float):
 class HistogramValue:
     """Bucketed distribution: counts per base-2 bucket + moments."""
 
-    buckets: dict = field(default_factory=dict)
+    buckets: dict[int | None, int] = field(default_factory=dict)
     total: float = 0.0
     count: int = 0
     vmin: float = math.inf
@@ -117,7 +122,7 @@ class HistogramValue:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def quantile(self, q: float):
+    def quantile(self, q: float) -> float | None:
         """Bucket-interpolated quantile estimate (``None`` when empty).
 
         The base-2 bucket containing the order statistic is exact;
@@ -151,7 +156,7 @@ class HistogramValue:
             seen += n
         return self.vmax  # unreachable; defensive
 
-    def to_json(self):
+    def to_json(self) -> dict[str, object]:
         return {
             "buckets": {str(b): n for b, n in sorted(
                 self.buckets.items(), key=lambda kv: (kv[0] is None, kv[0]))},
@@ -162,8 +167,13 @@ class HistogramValue:
         }
 
 
-_KINDS = {"counter": CounterValue, "gauge": GaugeValue,
-          "histogram": HistogramValue}
+#: Any concrete metric value; all three merge associatively.
+MetricValue = CounterValue | GaugeValue | HistogramValue
+
+_KINDS: dict[str, type[MetricValue]] = {
+    "counter": CounterValue, "gauge": GaugeValue,
+    "histogram": HistogramValue,
+}
 
 
 class BoundCounter:
@@ -180,7 +190,7 @@ class BoundCounter:
 
     __slots__ = ("_lock", "_slot")
 
-    def __init__(self, lock, slot: CounterValue):
+    def __init__(self, lock: threading.Lock, slot: CounterValue) -> None:
         self._lock = lock
         self._slot = slot
 
@@ -198,16 +208,18 @@ class MetricsSnapshot:
     and associative (see the individual value types).
     """
 
-    data: dict = field(default_factory=dict)
+    data: dict[tuple[str, Key], MetricValue] = field(default_factory=dict)
 
     def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         out = dict(self.data)
         for k, v in other.data.items():
             mine = out.get(k)
-            out[k] = v if mine is None else mine.merge(v)
+            # Same key => same kind (the registry enforces it), so the
+            # union-typed merge is always kind-homogeneous at runtime.
+            out[k] = v if mine is None else mine.merge(cast(Any, v))
         return MetricsSnapshot(out)
 
-    def get(self, name: str, **labels):
+    def get(self, name: str, **labels: object) -> MetricValue | None:
         """The value object for ``(name, labels)`` or ``None``."""
         key = metric_key(name, labels)
         for kind in _KINDS:
@@ -216,9 +228,9 @@ class MetricsSnapshot:
                 return v
         return None
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, dict[str, object]]:
         """Plain-dict dump: ``{kind: {name{labels}: value...}}``."""
-        out = {kind: {} for kind in _KINDS}
+        out: dict[str, dict[str, object]] = {kind: {} for kind in _KINDS}
         for (kind, key), v in sorted(self.data.items(),
                                      key=lambda kv: (kv[0][0], kv[0][1])):
             out[kind][key_str(key)] = v.to_json()
@@ -241,12 +253,13 @@ class MetricsRegistry:
     the simulated machine.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._data: dict[tuple, object] = {}
+        self._data: dict[tuple[str, Key], MetricValue] = {}
         self._seq = 0
 
-    def _slot(self, kind: str, name: str, labels: dict):
+    def _slot(self, kind: str, name: str,
+              labels: dict[str, object]) -> MetricValue:
         key = (kind, metric_key(name, labels))
         v = self._data.get(key)
         if v is None:
@@ -259,14 +272,17 @@ class MetricsRegistry:
             self._data[key] = v
         return v
 
-    def inc(self, name: str, value: float = 1.0, *, rank=None, **labels):
+    def inc(self, name: str, value: float = 1.0, *,
+            rank: object = None, **labels: object) -> None:
         """Add ``value`` to the counter ``(name, labels)``."""
         if rank is not None:
             labels["rank"] = rank
         with self._lock:
-            self._slot("counter", name, labels).inc(value)
+            cast(CounterValue,
+                 self._slot("counter", name, labels)).inc(value)
 
-    def counter(self, name: str, *, rank=None, **labels) -> BoundCounter:
+    def counter(self, name: str, *, rank: object = None,
+                **labels: object) -> BoundCounter:
         """Resolve ``(name, labels)`` once; returns a cheap bound handle.
 
         Use on hot paths instead of repeated :meth:`inc` calls with the
@@ -276,41 +292,44 @@ class MetricsRegistry:
         if rank is not None:
             labels["rank"] = rank
         with self._lock:
-            slot = self._slot("counter", name, labels)
+            slot = cast(CounterValue,
+                        self._slot("counter", name, labels))
         return BoundCounter(self._lock, slot)
 
-    def set(self, name: str, value: float, *, rank=None, **labels):
+    def set(self, name: str, value: float, *,
+            rank: object = None, **labels: object) -> None:
         """Set the gauge ``(name, labels)`` to ``value``."""
         if rank is not None:
             labels["rank"] = rank
         with self._lock:
-            g = self._slot("gauge", name, labels)
+            g = cast(GaugeValue, self._slot("gauge", name, labels))
             self._seq += 1
             g.value = value
             g.seq = self._seq
 
-    def observe(self, name: str, value: float, *, rank=None, **labels):
+    def observe(self, name: str, value: float, *,
+                rank: object = None, **labels: object) -> None:
         """Record ``value`` into the histogram ``(name, labels)``."""
         if rank is not None:
             labels["rank"] = rank
         with self._lock:
-            self._slot("histogram", name, labels).observe(value)
+            cast(HistogramValue,
+                 self._slot("histogram", name, labels)).observe(value)
 
     def snapshot(self) -> MetricsSnapshot:
         """Cheap immutable copy of every metric's current value."""
         with self._lock:
-            data = {}
+            data: dict[tuple[str, Key], MetricValue] = {}
             for key, v in self._data.items():
-                kind = key[0]
-                if kind == "counter":
+                if isinstance(v, CounterValue):
                     data[key] = CounterValue(v.total, v.count)
-                elif kind == "gauge":
+                elif isinstance(v, GaugeValue):
                     data[key] = GaugeValue(v.value, v.seq)
                 else:
                     data[key] = HistogramValue(dict(v.buckets), v.total,
                                                v.count, v.vmin, v.vmax)
             return MetricsSnapshot(data)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, dict[str, object]]:
         """Shortcut: ``snapshot().to_dict()``."""
         return self.snapshot().to_dict()

@@ -16,7 +16,9 @@ directly, so the null recorder hands out one shared throwaway
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from contextlib import contextmanager
+from typing import Any
 
 from repro.obs.causal import RankAccount
 
@@ -24,29 +26,30 @@ from repro.obs.causal import RankAccount
 class NullMetrics:
     """No-op :class:`~repro.obs.metrics.MetricsRegistry`."""
 
-    def inc(self, name, value=1, **labels):
+    def inc(self, name: str, value: float = 1, **labels: object) -> None:
         pass
 
-    def set(self, name, value, **labels):
+    def set(self, name: str, value: float, **labels: object) -> None:
         pass
 
-    def observe(self, name, value, **labels):
+    def observe(self, name: str, value: float,
+                **labels: object) -> None:
         pass
 
-    def counter(self, name, **labels):
+    def counter(self, name: str, **labels: object) -> _NullBoundCounter:
         return _NULL_BOUND_COUNTER
 
-    def snapshot(self):
+    def snapshot(self) -> Any:
         from repro.obs.metrics import MetricsSnapshot
 
         return MetricsSnapshot()
 
-    def to_dict(self):
+    def to_dict(self) -> dict[str, Any]:
         return {}
 
 
 class _NullBoundCounter:
-    def add(self, value=1):
+    def add(self, value: float = 1) -> None:
         pass
 
     inc = add
@@ -55,26 +58,27 @@ class _NullBoundCounter:
 class NullSpans:
     """No-op :class:`~repro.obs.spans.SpanRecorder`."""
 
-    def begin(self, rank, name, cat, t0, labels=None):
+    def begin(self, rank: int, name: str, cat: str, t0: float,
+              labels: dict[str, object] | None = None) -> None:
         return None
 
-    def end(self, open_span, t1):
+    def end(self, open_span: object, t1: float) -> None:
         pass
 
-    def add(self, *a, **kw):
+    def add(self, *a: object, **kw: object) -> None:
         pass
 
-    def instant(self, *a, **kw):
+    def instant(self, *a: object, **kw: object) -> None:
         pass
 
-    def spans(self, **filters):
+    def spans(self, **filters: object) -> list[Any]:
         return []
 
-    def instants(self):
+    def instants(self) -> list[Any]:
         return []
 
     @property
-    def total(self):
+    def total(self) -> float:
         return 0
 
 
@@ -83,22 +87,23 @@ class NullFlight:
 
     capacity = 0
 
-    def record(self, rank, t, kind, what="", **labels):
+    def record(self, rank: int, t: float, kind: str, what: str = "",
+               **labels: object) -> None:
         pass
 
-    def append(self, *a, **kw):
+    def append(self, *a: object, **kw: object) -> None:
         pass
 
-    def set_capacity(self, capacity):
+    def set_capacity(self, capacity: int) -> None:
         pass
 
-    def events(self, rank=None):
+    def events(self, rank: int | None = None) -> list[Any]:
         return []
 
-    def ranks(self):
+    def ranks(self) -> list[int]:
         return []
 
-    def dump(self):
+    def dump(self) -> dict[int, Any]:
         return {}
 
 
@@ -109,100 +114,101 @@ class NullCausal:
     mutate its attributes in place rather than calling methods.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._scratch = RankAccount(-1)
 
-    def account(self, rank):
+    def account(self, rank: int) -> RankAccount:
         return self._scratch
 
-    def edge(self, **kw):
+    def edge(self, **kw: object) -> None:
         return None
 
-    def collective(self, *a, **kw):
+    def collective(self, *a: object, **kw: object) -> None:
         return None
 
-    def post(self, *a, **kw):
+    def post(self, *a: object, **kw: object) -> None:
         pass
 
-    def consume(self, msg_id):
+    def consume(self, msg_id: object) -> None:
         pass
 
-    def match(self, *a, **kw):
+    def match(self, *a: object, **kw: object) -> None:
         pass
 
-    def edges(self, *a, **kw):
+    def edges(self, *a: object, **kw: object) -> list[Any]:
         return []
 
-    def collectives(self):
+    def collectives(self) -> list[Any]:
         return []
 
-    def accounts(self):
+    def accounts(self) -> dict[int, RankAccount]:
         return {}
 
-    def posts(self):
+    def posts(self) -> list[Any]:
         return []
 
-    def consumed_ids(self):
+    def consumed_ids(self) -> set[object]:
         return set()
 
-    def matches(self):
+    def matches(self) -> list[Any]:
         return []
 
 
 class NullStream:
     """No-op :class:`~repro.obs.streamstat.StreamLedger`."""
 
-    def publish(self, *a, **kw):
+    def publish(self, *a: object, **kw: object) -> None:
         pass
 
-    def acquire(self, *a, **kw):
+    def acquire(self, *a: object, **kw: object) -> None:
         pass
 
-    def release(self, *a, **kw):
+    def release(self, *a: object, **kw: object) -> None:
         pass
 
-    def drop(self, *a, **kw):
+    def drop(self, *a: object, **kw: object) -> None:
         pass
 
-    def events(self, *a, **kw):
+    def events(self, *a: object, **kw: object) -> list[Any]:
         return []
 
-    def streams(self):
+    def streams(self) -> list[str]:
         return []
 
-    def max_depth(self, *a, **kw):
+    def max_depth(self, *a: object, **kw: object) -> int:
         return 0
 
-    def open_acquisitions(self):
+    def open_acquisitions(self) -> list[Any]:
         return []
 
-    def snapshot(self):
+    def snapshot(self) -> NullStream:
         return self
 
-    def merge(self, other):
+    def merge(self, other: object) -> NullStream:
         return self
 
 
 class NullSeries:
     """No-op :class:`~repro.obs.series.SeriesRecorder`."""
 
-    def record(self, name, t, value, **kw):
+    def record(self, name: str, t: float, value: float,
+               **kw: object) -> None:
         pass
 
-    def bound(self, name, **kw):
+    def bound(self, name: str, **kw: object) -> _NullBoundSeries:
         return _NULL_BOUND_SERIES
 
-    def snapshot(self):
+    def snapshot(self) -> Any:
         from repro.obs.series import SeriesSnapshot
 
         return SeriesSnapshot()
 
-    def to_dict(self):
+    def to_dict(self) -> dict[str, Any]:
         return {}
 
 
 class _NullBoundSeries:
-    def record(self, t, value):
+    def record(self, t: float, value: float) -> None:
         pass
 
 
@@ -217,7 +223,7 @@ class NullObsContext:
     identical simulation with every recording surface stubbed out.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.metrics = NullMetrics()
         self.spans = NullSpans()
         self.flight = NullFlight()
@@ -226,28 +232,32 @@ class NullObsContext:
         self.series = NullSeries()
         self._rank_tasks: dict[int, str] = {}
 
-    def set_task(self, task, world_ranks):
+    def set_task(self, task: str, world_ranks: object) -> None:
         pass
 
-    def task_of(self, rank):
+    def task_of(self, rank: int) -> str | None:
         return None
 
-    def rank_tasks(self):
+    def rank_tasks(self) -> dict[int, str]:
         return {}
 
-    def sample(self, name, t, value, *, rank=None, volatile=False,
-               **labels):
+    def sample(self, name: str, t: float, value: float, *,
+               rank: int | None = None, volatile: bool = False,
+               **labels: object) -> None:
         pass
 
-    def fault(self, rank, t, kind, **labels):
+    def fault(self, rank: int, t: float, kind: str,
+              **labels: object) -> None:
         pass
 
     @contextmanager
-    def span(self, comm, name, cat="", **labels):
+    def span(self, comm: object, name: str, cat: str = "",
+             **labels: object) -> Iterator[None]:
         yield None
 
-    def chrome_trace(self, events=()):
+    def chrome_trace(self, events: object = ()) -> dict[str, Any]:
         raise ValueError("observability is disabled for this run")
 
-    def write_chrome_trace(self, path, events=()):
+    def write_chrome_trace(self, path: str,
+                           events: object = ()) -> None:
         raise ValueError("observability is disabled for this run")

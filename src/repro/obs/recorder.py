@@ -26,11 +26,11 @@ class FlightEvent:
     rank: int
     kind: str  # "send", "recv", "coll", "span_begin", "span_end", ...
     name: str
-    detail: tuple = ()  # sorted (key, value) pairs
+    detail: tuple[tuple[str, object], ...] = ()  # sorted (key, value)
 
-    def to_dict(self) -> dict:
-        d = {"vtime": self.vtime, "rank": self.rank, "kind": self.kind,
-             "name": self.name}
+    def to_dict(self) -> dict[str, object]:
+        d: dict[str, object] = {"vtime": self.vtime, "rank": self.rank,
+                                "kind": self.kind, "name": self.name}
         d.update(dict(self.detail))
         return d
 
@@ -46,11 +46,11 @@ class FlightRecorder:
     must copy under the same lock the writers hold.
     """
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        self._rings: dict[int, deque] = {}
+        self._rings: dict[int, deque[FlightEvent]] = {}
         self._lock = threading.Lock()
 
     def set_capacity(self, capacity: int) -> None:
@@ -71,12 +71,12 @@ class FlightRecorder:
                            for r, ring in self._rings.items()}
 
     def record(self, rank: int, vtime: float, kind: str, name: str,
-               **detail) -> None:
+               **detail: object) -> None:
         """Append one event to ``rank``'s ring (evicting the oldest)."""
         self.append(rank, vtime, kind, name, tuple(sorted(detail.items())))
 
     def append(self, rank: int, vtime: float, kind: str, name: str,
-               detail: tuple = ()) -> None:
+               detail: tuple[tuple[str, object], ...] = ()) -> None:
         """Fast-path append: ``detail`` is an already key-sorted tuple
         of ``(key, value)`` pairs.
 
@@ -97,7 +97,7 @@ class FlightRecorder:
             if rank is not None:
                 return list(self._rings.get(rank, ()))
             rings = [list(ring) for ring in self._rings.values()]
-        out = []
+        out: list[FlightEvent] = []
         for ring in rings:
             out.extend(ring)
         out.sort(key=lambda e: (e.vtime, e.rank))
@@ -108,7 +108,7 @@ class FlightRecorder:
         with self._lock:
             return sorted(self._rings)
 
-    def dump(self) -> dict:
+    def dump(self) -> dict[int, list[dict[str, object]]]:
         """JSON-able post-mortem dump: ``{rank: [event dicts]}``."""
         return {r: [e.to_dict() for e in self.events(r)]
                 for r in self.ranks()}

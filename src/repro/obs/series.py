@@ -31,7 +31,7 @@ import json
 import threading
 from dataclasses import dataclass, field
 
-from repro.obs.metrics import key_str, metric_key
+from repro.obs.metrics import Key, key_str, metric_key
 
 #: Default finest window width (virtual seconds). Power of two so every
 #: coarsening step stays exact.
@@ -67,7 +67,7 @@ class Window:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def to_json(self) -> list:
+    def to_json(self) -> list[float]:
         return [self.count, self.total, self.vmin, self.vmax]
 
 
@@ -83,7 +83,7 @@ class SeriesValue:
 
     def __init__(self, base_interval: float = DEFAULT_INTERVAL,
                  max_windows: int = DEFAULT_WINDOWS,
-                 volatile: bool = False):
+                 volatile: bool = False) -> None:
         if base_interval <= 0.0:
             raise ValueError("base_interval must be > 0")
         if max_windows < 2:
@@ -164,7 +164,7 @@ class SeriesValue:
         return [(idx * self.interval, self.windows[idx])
                 for idx in sorted(self.windows)]
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, object]:
         return {
             "interval": self.interval,
             "volatile": self.volatile,
@@ -191,7 +191,7 @@ class BoundSeries:
 
     __slots__ = ("_lock", "_slot")
 
-    def __init__(self, lock, slot: SeriesValue):
+    def __init__(self, lock: threading.Lock, slot: SeriesValue) -> None:
         self._lock = lock
         self._slot = slot
 
@@ -204,7 +204,7 @@ class BoundSeries:
 class SeriesSnapshot:
     """Immutable copy of a recorder: ``key -> SeriesValue``."""
 
-    data: dict = field(default_factory=dict)
+    data: dict[Key, SeriesValue] = field(default_factory=dict)
 
     def merge(self, other: "SeriesSnapshot") -> "SeriesSnapshot":
         out = dict(self.data)
@@ -213,15 +213,15 @@ class SeriesSnapshot:
             out[k] = v if mine is None else mine.merge(v)
         return SeriesSnapshot(out)
 
-    def get(self, name: str, **labels) -> SeriesValue | None:
+    def get(self, name: str, **labels: object) -> SeriesValue | None:
         return self.data.get(metric_key(name, labels))
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """Plain-dict dump: ``{name{labels}: series json}``."""
         return {key_str(k): v.to_json()
                 for k, v in sorted(self.data.items())}
 
-    def digests(self, include_volatile: bool = False) -> dict:
+    def digests(self, include_volatile: bool = False) -> dict[str, str]:
         """Stable per-series digests; volatile series are skipped
         unless asked for (their content depends on thread timing, so
         they must not feed deterministic run digests)."""
@@ -238,13 +238,14 @@ class SeriesRecorder:
     """
 
     def __init__(self, base_interval: float = DEFAULT_INTERVAL,
-                 max_windows: int = DEFAULT_WINDOWS):
+                 max_windows: int = DEFAULT_WINDOWS) -> None:
         self.base_interval = base_interval
         self.max_windows = max_windows
         self._lock = threading.Lock()
-        self._data: dict[tuple, SeriesValue] = {}
+        self._data: dict[Key, SeriesValue] = {}
 
-    def _slot(self, name: str, labels: dict, volatile: bool) -> SeriesValue:
+    def _slot(self, name: str, labels: dict[str, object],
+              volatile: bool) -> SeriesValue:
         key = metric_key(name, labels)
         v = self._data.get(key)
         if v is None:
@@ -253,16 +254,17 @@ class SeriesRecorder:
             )
         return v
 
-    def record(self, name: str, t: float, value: float, *, rank=None,
-               volatile: bool = False, **labels) -> None:
+    def record(self, name: str, t: float, value: float, *,
+               rank: object = None, volatile: bool = False,
+               **labels: object) -> None:
         """Fold one sample of ``(name, labels)`` taken at vtime ``t``."""
         if rank is not None:
             labels["rank"] = rank
         with self._lock:
             self._slot(name, labels, volatile).record(t, value)
 
-    def bound(self, name: str, *, rank=None, volatile: bool = False,
-              **labels) -> BoundSeries:
+    def bound(self, name: str, *, rank: object = None,
+              volatile: bool = False, **labels: object) -> BoundSeries:
         """Resolve ``(name, labels)`` once; returns a cheap handle."""
         if rank is not None:
             labels["rank"] = rank
@@ -277,12 +279,12 @@ class SeriesRecorder:
                 {k: v.copy() for k, v in self._data.items()}
             )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """Shortcut: ``snapshot().to_dict()``."""
         return self.snapshot().to_dict()
 
 
-def series_dump(series) -> dict:
+def series_dump(series: object) -> dict[str, object]:
     """Plain-dict dump of a recorder or snapshot (JSON-able)."""
     if isinstance(series, SeriesRecorder):
         series = series.snapshot()

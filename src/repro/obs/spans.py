@@ -45,7 +45,7 @@ class SpanEvent:
     rank: int
     t0: float
     t1: float
-    labels: dict = field(default_factory=dict)
+    labels: dict[str, object] = field(default_factory=dict)
 
     @property
     def duration(self) -> float:
@@ -60,7 +60,7 @@ class InstantEvent:
     cat: str
     rank: int
     t: float
-    labels: dict = field(default_factory=dict)
+    labels: dict[str, object] = field(default_factory=dict)
 
 
 class _OpenSpan:
@@ -69,7 +69,9 @@ class _OpenSpan:
     __slots__ = ("span_id", "parent_id", "name", "cat", "rank", "t0",
                  "labels")
 
-    def __init__(self, span_id, parent_id, name, cat, rank, t0, labels):
+    def __init__(self, span_id: int, parent_id: int | None, name: str,
+                 cat: str, rank: int, t0: float,
+                 labels: dict[str, object]) -> None:
         self.span_id = span_id
         self.parent_id = parent_id
         self.name = name
@@ -87,23 +89,24 @@ class SpanRecorder:
     form guarantees this).
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
         self._spans: list[SpanEvent] = []
         self._instants: list[InstantEvent] = []
         self._next_id = 1
         self._tls = threading.local()
 
-    def _stack(self) -> list:
-        st = getattr(self._tls, "stack", None)
+    def _stack(self) -> list[_OpenSpan]:
+        st: list[_OpenSpan] | None = getattr(self._tls, "stack", None)
         if st is None:
-            st = self._tls.stack = []
+            st = []
+            self._tls.stack = st
         return st
 
     # -- producing ---------------------------------------------------------
 
     def begin(self, rank: int, name: str, cat: str, t0: float,
-              labels: dict | None = None) -> _OpenSpan:
+              labels: dict[str, object] | None = None) -> _OpenSpan:
         """Open a span at virtual time ``t0``; returns its handle."""
         stack = self._stack()
         parent = stack[-1].span_id if stack else None
@@ -132,7 +135,7 @@ class SpanRecorder:
         return ev
 
     def add(self, name: str, cat: str, rank: int, t0: float, t1: float,
-            labels: dict | None = None,
+            labels: dict[str, object] | None = None,
             parent_id: int | None = None) -> SpanEvent:
         """Record an already-measured span (no nesting bookkeeping).
 
@@ -152,7 +155,7 @@ class SpanRecorder:
         return ev
 
     def instant(self, name: str, cat: str, rank: int, t: float,
-                labels: dict | None = None) -> InstantEvent:
+                labels: dict[str, object] | None = None) -> InstantEvent:
         """Record a point event at virtual time ``t``."""
         ev = InstantEvent(name, cat, rank, t,
                           dict(labels) if labels else {})
@@ -163,7 +166,8 @@ class SpanRecorder:
     # -- querying ----------------------------------------------------------
 
     def spans(self, cat: str | None = None, name: str | None = None,
-              rank: int | None = None, **label_filter) -> list[SpanEvent]:
+              rank: int | None = None,
+              **label_filter: object) -> list[SpanEvent]:
         """Completed spans, optionally filtered."""
         with self._lock:
             out = list(self._spans)
@@ -183,7 +187,7 @@ class SpanRecorder:
             return list(self._instants)
 
     def total(self, cat: str | None = None, name: str | None = None,
-              rank: int | None = None, **label_filter) -> float:
+              rank: int | None = None, **label_filter: object) -> float:
         """Summed duration of the matching spans (virtual seconds)."""
         return sum(s.duration
                    for s in self.spans(cat, name, rank, **label_filter))

@@ -341,7 +341,7 @@ class Engine:
             from repro.analyze.deadlock import explain_deadlock
 
             detail = explain_deadlock(self)
-        except Exception:  # noqa: BLE001 - explainer must never mask
+        except Exception:  # noqa: BLE001,ANL006 - explainer must never mask
             return base
         return f"{base}\n{detail}" if detail else base
 
@@ -608,7 +608,7 @@ class Engine:
                 returns[rank] = main(world, *args, **kwargs)
             except WorkerAborted:
                 pass  # secondary failure; the primary one is recorded
-            except BaseException as exc:  # noqa: BLE001 - re-raised from run()
+            except BaseException as exc:  # noqa: BLE001,ANL006 - re-raised from run()
                 self.fail(exc)
             finally:
                 # The rank will never send again: lagging wildcard

@@ -1,8 +1,8 @@
 """``python -m repro.tools lint`` -- the ANL00x virtual-time lint.
 
 Thin CLI over :mod:`repro.analyze.lint`: lints the given files and
-directory trees (default: the repo's ``src``, ``examples`` and
-``benchmarks`` when run from a checkout) and prints one
+directory trees (default: the repo's ``src``, ``examples``,
+``benchmarks`` and ``tests`` when run from a checkout) and prints one
 ``path:line:col: CODE message`` line per violation. Exit status 1
 when anything is found.
 """
@@ -14,9 +14,9 @@ import sys
 
 
 def _default_paths() -> list[str]:
-    """src/ + examples/ + benchmarks/ relative to the checkout root."""
+    """src/examples/benchmarks/tests relative to the checkout root."""
     here = os.getcwd()
-    out = [p for p in ("src", "examples", "benchmarks")
+    out = [p for p in ("src", "examples", "benchmarks", "tests")
            if os.path.isdir(os.path.join(here, p))]
     return out or ["."]
 
@@ -49,7 +49,8 @@ def add_parser(sub) -> None:
     )
     p.add_argument("paths", nargs="*",
                    help="files or directories (default: src examples "
-                        "benchmarks under the current directory)")
+                        "benchmarks tests under the current "
+                        "directory)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule table and exit")
     p.set_defaults(run=run)

@@ -54,6 +54,7 @@ def main(argv=None) -> int:
     ``python -m repro.tools critpath [--strict ...]``,
     ``python -m repro.tools analyze [--example fig5 ...]``,
     ``python -m repro.tools lint [paths ...]``,
+    ``python -m repro.tools proto [paths ...] [--strict]``,
     ``python -m repro.tools regress <doc> --ref <ref>`` or
     ``python -m repro.tools report <out.html>``."""
     import argparse
@@ -62,6 +63,7 @@ def main(argv=None) -> int:
     from repro.tools.critpath import add_parser as add_critpath
     from repro.tools.inspect import h5dump, h5ls
     from repro.tools.lint import add_parser as add_lint
+    from repro.tools.proto import add_parser as add_proto
     from repro.tools.regress import add_parser as add_regress
     from repro.tools.report import add_parser as add_report
 
@@ -99,12 +101,13 @@ def main(argv=None) -> int:
     add_critpath(sub)
     add_analyze(sub)
     add_lint(sub)
+    add_proto(sub)
     add_regress(sub)
     add_report(sub)
     args = ap.parse_args(argv)
 
-    if args.command in ("critpath", "analyze", "lint", "regress",
-                        "report"):
+    if args.command in ("critpath", "analyze", "lint", "proto",
+                        "regress", "report"):
         return args.run(args)
 
     if args.command == "trace":

@@ -1,0 +1,24 @@
+"""PRO002 exemplar: a send nobody ever receives.
+
+Rank 0 posts one message to rank 1; rank 1 never receives anything.
+The closed-world replay finishes with the message still queued, so
+the static verdict is an unmatched point-to-point send; dynamically
+the run completes and the ``message-leak`` check reports the same
+orphan at finalize.
+"""
+
+from repro.workflow import Workflow
+
+
+def body(ctx):
+    comm = ctx.comm
+    if comm.rank == 0:
+        comm.send("orphan", 1, tag=99)  # PROTO: PRO002
+    comm.barrier()
+    return None
+
+
+def build_workflow():
+    wf = Workflow()
+    wf.add_task("orphan", nprocs=2, main=body)
+    return wf

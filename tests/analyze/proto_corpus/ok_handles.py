@@ -1,0 +1,50 @@
+"""Clean exemplar: every legitimate handle-lifecycle shape.
+
+``with``-managed files (including early returns out of the block),
+explicit ``close()`` on every path, escape by return, escape into a
+container, and a retained epoch that *is* released later. PRO004
+must stay silent on all of them.
+"""
+
+import repro.h5 as h5
+from repro.h5.native import NativeVOL
+
+
+def with_managed(path):
+    with h5.File(path, "w", vol=NativeVOL()) as f:
+        d = f.create_dataset("d", shape=(4,), dtype=h5.UINT64)
+        if path.endswith(".tmp"):
+            return None
+        d.write([1, 2, 3, 4])
+    return path
+
+
+def closed_on_both_arms(path, flag):
+    f = h5.File(path, "r", vol=NativeVOL())
+    if flag:
+        out = f["d"].read()
+        f.close()
+        return out
+    f.close()
+    return None
+
+
+def escapes_by_return(path):
+    return h5.File(path, "r", vol=NativeVOL())
+
+
+def escapes_into_registry(path, registry):
+    f = h5.File(path, "a", vol=NativeVOL())
+    registry[path] = f
+    return registry
+
+
+def retain_then_release(ctx):
+    vol = ctx.singleton("vol", lambda: NativeVOL())
+    with ctx.stream_consumer("producer", "sim", vol) as cons:
+        ep = cons.next_epoch()
+        if ep is not None:
+            ep.retain()
+            ep.file["g"].read()
+            ep.release()
+    return True

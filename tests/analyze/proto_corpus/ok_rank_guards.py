@@ -1,0 +1,35 @@
+"""Clean exemplar: rank guards the symbolic domain must resolve.
+
+Every corner the domain is supposed to handle, in protocol-correct
+form: a rank alias (``me = comm.rank``), guard negation spelled three
+ways, tag arithmetic (``BASE + me`` matching ``BASE + src``), and a
+root loop over ``range(nprocs)``. Any finding here is a false
+positive in the symbolic tier.
+"""
+
+from repro.workflow import Workflow
+
+BASE = 100
+
+
+def fanin(ctx):
+    comm = ctx.comm
+    me = comm.rank
+    n = comm.size
+    if me != 0:
+        comm.send(me, 0, tag=BASE + me)
+    else:
+        for src in range(1, n):
+            comm.recv(source=src, tag=BASE + src)
+    comm.barrier()
+    if not me == 0:
+        out = comm.bcast(None, root=0)
+    else:
+        out = comm.bcast("payload", root=0)
+    return out
+
+
+def build_workflow():
+    wf = Workflow()
+    wf.add_task("fanin", nprocs=4, main=fanin)
+    return wf

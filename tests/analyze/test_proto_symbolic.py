@@ -1,0 +1,259 @@
+"""Symbolic-domain corners of the PRO00x checker.
+
+Each test feeds a small rank-body source through ``check_source`` and
+asserts a specific finding is present *or absent*: rank aliases
+(``me = comm.rank``), loops over ``range(nprocs)``, tag arithmetic,
+and guard negation. Plus unit coverage of the symbolic domain and the
+CFG builder's conservative bail-outs.
+"""
+
+import ast
+
+from repro.analyze.proto import check_source
+from repro.analyze.proto.cfg import Unsupported, build_cfg
+from repro.analyze.proto.domain import (
+    RANK,
+    SYM_NPROCS,
+    SYM_RANK,
+    Binding,
+    Sym,
+    compare,
+    const,
+    evaluate,
+)
+from repro.analyze.proto.interp import run_function
+
+
+def rules(src):
+    return [f.rule for f in check_source(src, "x.py")]
+
+
+class TestRankAliases:
+    def test_alias_guard_divergence_is_caught(self):
+        """``me = comm.rank`` must be as transparent as
+        ``comm.rank`` itself."""
+        src = ("def body(ctx):\n"
+               "    comm = ctx.comm\n"
+               "    me = comm.rank\n"
+               "    if me == 0:\n"
+               "        comm.bcast(1, root=0)\n"
+               "    else:\n"
+               "        comm.barrier()\n")
+        assert rules(src) == ["PRO001"]
+
+    def test_alias_and_attribute_guards_share_identity(self):
+        """The same rank condition spelled through an alias and
+        through the attribute must resolve to one guard: the two
+        complementary branches below give *every* rank exactly one
+        barrier, but only if the checker never explores the
+        contradictory both-false combination (a phantom PRO001)."""
+        src = ("def body(ctx):\n"
+               "    comm = ctx.comm\n"
+               "    me = comm.rank\n"
+               "    if me == 0:\n"
+               "        comm.barrier()\n"
+               "    if comm.rank != 0:\n"
+               "        comm.barrier()\n")
+        assert rules(src) == []
+
+    def test_arithmetic_on_alias_stays_symbolic(self):
+        """``nxt = (me + 1) % size`` is a peer expression, not a
+        divergence."""
+        src = ("def body(ctx):\n"
+               "    comm = ctx.comm\n"
+               "    me = comm.rank\n"
+               "    nxt = (me + 1) % comm.size\n"
+               "    comm.send(me, nxt, tag=0)\n"
+               "    comm.recv(source=(me - 1) % comm.size, tag=0)\n"
+               "    comm.barrier()\n")
+        assert rules(src) == []
+
+
+class TestRangeNprocsLoops:
+    def test_collective_inside_guarded_nprocs_loop_diverges(self):
+        src = ("def body(ctx):\n"
+               "    comm = ctx.comm\n"
+               "    if comm.rank == 0:\n"
+               "        for i in range(comm.size):\n"
+               "            comm.barrier()\n")
+        assert rules(src) == ["PRO001"]
+
+    def test_fanin_over_range_nprocs_is_clean(self):
+        """Root receiving from every other rank while non-roots send
+        once is the canonical clean fan-in -- no divergence."""
+        src = ("def body(ctx):\n"
+               "    comm = ctx.comm\n"
+               "    if comm.rank == 0:\n"
+               "        for src in range(1, comm.size):\n"
+               "            comm.recv(source=src, tag=5)\n"
+               "    else:\n"
+               "        comm.send(1, 0, tag=5)\n"
+               "    comm.barrier()\n")
+        assert rules(src) == []
+
+    def test_concrete_range_unrolls(self):
+        """A literal ``range(2)`` of collectives on every rank is
+        uniform, not divergent."""
+        src = ("def body(ctx):\n"
+               "    for step in range(2):\n"
+               "        ctx.comm.barrier()\n")
+        assert rules(src) == []
+
+
+class TestTagArithmetic:
+    def test_symbolic_tag_expression_is_not_confused(self):
+        src = ("BASE = 100\n"
+               "def body(ctx):\n"
+               "    comm = ctx.comm\n"
+               "    me = comm.rank\n"
+               "    if me != 0:\n"
+               "        comm.send(me, 0, tag=100 + me)\n"
+               "    comm.barrier()\n")
+        assert "PRO005" not in rules(src)
+
+    def test_literal_string_tag_is_confused(self):
+        src = ("def body(ctx):\n"
+               "    ctx.comm.recv(source=0, tag='seven')\n")
+        assert rules(src) == ["PRO005"]
+
+    def test_bool_tag_is_confused(self):
+        """``True`` is an int subtype but never a deliberate tag."""
+        src = ("def body(ctx):\n"
+               "    ctx.comm.send(1, 0, tag=True)\n")
+        assert rules(src) == ["PRO005"]
+
+    def test_float_dest_is_confused(self):
+        src = ("def body(ctx):\n"
+               "    ctx.comm.send(1, 1.5, tag=0)\n")
+        assert rules(src) == ["PRO005"]
+
+
+class TestGuardNegation:
+    def test_not_eq_and_ne_spellings_share_identity(self):
+        """``if not me == 0`` and ``if me == 0`` are complementary
+        spellings of one guard: every rank gets exactly one barrier,
+        so any PRO001 here would be a canonicalization bug."""
+        src = ("def body(ctx):\n"
+               "    comm = ctx.comm\n"
+               "    me = comm.rank\n"
+               "    if not me == 0:\n"
+               "        comm.barrier()\n"
+               "    if me == 0:\n"
+               "        comm.barrier()\n")
+        assert rules(src) == []
+
+    def test_negated_guard_divergence_is_still_caught(self):
+        src = ("def body(ctx):\n"
+               "    comm = ctx.comm\n"
+               "    if not comm.rank == 0:\n"
+               "        comm.barrier()\n"
+               "    else:\n"
+               "        comm.bcast(1, root=0)\n")
+        assert rules(src) == ["PRO001"]
+
+    def test_complementary_guards_cover_all_ranks_cleanly(self):
+        src = ("def body(ctx):\n"
+               "    comm = ctx.comm\n"
+               "    if comm.rank == 0:\n"
+               "        comm.barrier()\n"
+               "    if comm.rank != 0:\n"
+               "        comm.barrier()\n")
+        assert rules(src) == []
+
+
+class TestHandlePaths:
+    def test_early_return_leaks_open_file(self):
+        src = ("import repro.h5 as h5\n"
+               "def body(path, flag):\n"
+               "    f = h5.File(path, 'r')\n"
+               "    if flag:\n"
+               "        return None\n"
+               "    f.close()\n")
+        assert rules(src) == ["PRO004"]
+
+    def test_with_block_closes_on_early_return(self):
+        src = ("import repro.h5 as h5\n"
+               "def body(path, flag):\n"
+               "    with h5.File(path, 'r') as f:\n"
+               "        if flag:\n"
+               "            return None\n"
+               "        f['d'].read()\n")
+        assert rules(src) == []
+
+    def test_exception_route_leaks_open_file(self):
+        src = ("import repro.h5 as h5\n"
+               "def body(path, work):\n"
+               "    f = h5.File(path, 'r')\n"
+               "    try:\n"
+               "        work()\n"
+               "    except ValueError:\n"
+               "        return None\n"
+               "    f.close()\n")
+        assert rules(src) == ["PRO004"]
+
+    def test_pytest_raises_region_is_exempt(self):
+        src = ("import pytest\n"
+               "import repro.h5 as h5\n"
+               "def body(path):\n"
+               "    with pytest.raises(OSError):\n"
+               "        h5.File(path, 'r')\n")
+        assert rules(src) == []
+
+
+class TestDomain:
+    def test_rank_offsets_compare_decidably(self):
+        rank1 = Sym(RANK, off=1)
+        assert compare(ast.Gt(), rank1, SYM_RANK) is True
+        assert compare(ast.Eq(), rank1, SYM_RANK) is False
+        assert compare(ast.Eq(), SYM_RANK, SYM_RANK) is True
+
+    def test_rank_vs_const_is_undecidable(self):
+        assert compare(ast.Eq(), SYM_RANK, const(0)) is None
+
+    def test_binding_makes_symbols_concrete(self):
+        b = Binding(rank=2, nprocs=4)
+        assert evaluate(SYM_RANK, b) == 2
+        assert evaluate(SYM_NPROCS, b) == 4
+        assert evaluate(Sym(RANK, off=1), b) == 3
+        assert compare(ast.Eq(), SYM_RANK, const(2), b) is True
+
+    def test_render_is_stable(self):
+        assert SYM_RANK.render() == "rank"
+        assert Sym(RANK, off=-1).render() == "rank-1"
+        assert const(7).render() == "7"
+
+
+class TestConservativeBailouts:
+    def test_match_statement_is_unsupported(self):
+        fn = ast.parse("def f(x):\n"
+                       "    match x:\n"
+                       "        case 1:\n"
+                       "            pass\n").body[0]
+        try:
+            build_cfg(fn)
+        except Unsupported:
+            pass
+        else:  # pragma: no cover - defends the conservative contract
+            raise AssertionError("match must be Unsupported")
+
+    def test_unsupported_function_yields_no_findings(self):
+        src = ("async def body(ctx):\n"
+               "    ctx.comm.recv(source=0, tag='bad')\n")
+        assert rules(src) == []
+
+    def test_opaque_comm_escape_stands_down(self):
+        """Handing the comm to an unknown helper makes every verdict
+        unsound -- the checker must go silent, not guess."""
+        src = ("def body(ctx, helper):\n"
+               "    comm = ctx.comm\n"
+               "    helper(comm)\n"
+               "    if comm.rank == 0:\n"
+               "        comm.barrier()\n")
+        assert rules(src) == []
+
+    def test_run_function_never_raises_on_weird_input(self):
+        fn = ast.parse("def f(x):\n"
+                       "    while x:\n"
+                       "        x = x - 1\n").body[0]
+        res = run_function(fn, "f")
+        assert res.paths or not res.complete

@@ -80,7 +80,7 @@ def test_consumer_bad_selection_rejected_locally():
 
 def test_consumer_exception_propagates_to_run():
     def consumer(ctx, vol):
-        f = h5.File("f.h5", "r", comm=ctx.comm, vol=vol)
+        f = h5.File("f.h5", "r", comm=ctx.comm, vol=vol)  # noqa: ANL005
         raise RuntimeError("analysis blew up")
 
     with pytest.raises(RuntimeError, match="analysis blew up"):
@@ -94,7 +94,7 @@ def test_producer_exception_wakes_blocked_consumer():
     def consumer(ctx, vol):
         # Blocks forever waiting for metadata; the producer failure
         # must tear it down instead of deadlocking.
-        f = h5.File("f.h5", "r", comm=ctx.comm, vol=vol)
+        f = h5.File("f.h5", "r", comm=ctx.comm, vol=vol)  # noqa: ANL005
         return True
 
     with pytest.raises(RuntimeError, match="simulation diverged"):
@@ -103,7 +103,7 @@ def test_producer_exception_wakes_blocked_consumer():
 
 def test_consumer_never_closing_times_out_producer():
     def consumer(ctx, vol):
-        f = h5.File("f.h5", "r", comm=ctx.comm, vol=vol)
+        f = h5.File("f.h5", "r", comm=ctx.comm, vol=vol)  # noqa: ANL005
         f["d"].read()
         return "never closed"  # producer's serve waits for done
 
@@ -188,7 +188,7 @@ def test_consumer_stalling_in_virtual_time_trips_serve_timeout():
     """The serve timeout is virtual: a consumer that burns simulated
     time without ever closing trips RPCTimeout on the producer."""
     def consumer(ctx, vol):
-        f = h5.File("f.h5", "r", comm=ctx.comm, vol=vol)
+        f = h5.File("f.h5", "r", comm=ctx.comm, vol=vol)  # noqa: ANL005
         f["d"].read()
         ctx.comm.compute(100.0)  # >> the serve loop's 60 virtual s
         return "wandered off"    # never closed -> no done signal

@@ -127,7 +127,7 @@ def test_defer_replays_after_new_traffic():
             return c.call(0, "get")  # deferred until rank 1 arms
         import time
 
-        time.sleep(0.05)
+        time.sleep(0.05)  # noqa: ANL001 - real stall exercises the watchdog
         c.notify(0, "arm")
         return "armed"
 
@@ -179,7 +179,7 @@ def test_serve_timeout_raises():
         # loop observes progress regardless of startup interleaving.
         for _ in range(20):
             world.compute(0.05)
-            time.sleep(0.02)
+            time.sleep(0.02)  # noqa: ANL001 - real stall exercises the watchdog
         return "silent"
 
     res = eng.run(main)

@@ -89,7 +89,7 @@ class TestLedgerFile:
         led = Ledger(str(tmp_path / "l.jsonl"))
         led.append(_record(vtime=1.0))
         led.append(_record(vtime=2.0))
-        assert led.latest("fig5/lowfive_memory/P4").vtime == 2.0
+        assert led.latest("fig5/lowfive_memory/P4").vtime == 2.0  # noqa: ANL004
         assert led.latest("nope") is None
 
     def test_missing_file_is_empty(self, tmp_path):
@@ -227,7 +227,7 @@ class TestRecordFromResult:
         rec = record_from_result(res, "demo", mode="memory",
                                  params={"nprod": 2}, seed=0)
         assert rec.workload == "demo"
-        assert rec.vtime == res.vtime
+        assert rec.vtime == res.vtime  # noqa: ANL004
         assert rec.nprocs == 3
         assert rec.counters  # PFS / transport counters present
         assert rec.series    # stable series digests present
@@ -251,7 +251,7 @@ class TestRecordFromResult:
     def test_workflow_result_shortcut(self, res):
         rec = res.run_record("demo", mode="memory")
         assert rec.workload == "demo"
-        assert rec.vtime == res.vtime
+        assert rec.vtime == res.vtime  # noqa: ANL004
         assert rec.digest() == record_from_result(
             res, "demo", mode="memory").digest()
 

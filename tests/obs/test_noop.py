@@ -71,7 +71,7 @@ class TestSimulationUnperturbed:
 
         on, off = run(None), run(NullObsContext())
         assert all(off.returns["consumer"])
-        assert on.vtime == off.vtime
+        assert on.vtime == off.vtime  # noqa: ANL004 - exact determinism is the contract
         assert on.messages == off.messages
         assert on.bytes_sent == off.bytes_sent
 
@@ -89,4 +89,4 @@ class TestSimulationUnperturbed:
         rec = record_from_result(res, "demo")
         assert rec.counters == {}
         assert rec.series == {}
-        assert rec.vtime == res.vtime
+        assert rec.vtime == res.vtime  # noqa: ANL004

@@ -54,7 +54,7 @@ class TestThreadSafety:
         # the receiver's ring) while others read; events() must
         # snapshot under the lock instead of iterating live deques.
         fr = FlightRecorder(capacity=64)
-        stop = threading.Event()
+        stop = threading.Event()  # noqa: ANL003 - thread-safety stress test
         errors = []
 
         def writer(rank):
@@ -73,12 +73,12 @@ class TestThreadSafety:
                     errors.append(exc)
                     return
 
-        threads = [threading.Thread(target=writer, args=(r,))
+        threads = [threading.Thread(target=writer, args=(r,))  # noqa: ANL003
                    for r in range(3)]
-        threads += [threading.Thread(target=reader) for _ in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]  # noqa: ANL003
         for t in threads:
             t.start()
-        stop_timer = threading.Timer(0.3, stop.set)
+        stop_timer = threading.Timer(0.3, stop.set)  # noqa: ANL003
         stop_timer.start()
         for t in threads:
             t.join(10.0)

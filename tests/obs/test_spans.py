@@ -90,7 +90,7 @@ class TestNesting:
 class TestThreads:
     def test_stacks_are_per_thread(self):
         rec = SpanRecorder()
-        barrier = threading.Barrier(2)
+        barrier = threading.Barrier(2)  # noqa: ANL003 - thread-safety stress test
 
         def worker(rank):
             outer = rec.begin(rank, "outer", "", 0.0)
@@ -100,7 +100,7 @@ class TestThreads:
             barrier.wait()
             rec.end(outer, 3.0)
 
-        threads = [threading.Thread(target=worker, args=(r,))
+        threads = [threading.Thread(target=worker, args=(r,))  # noqa: ANL003
                    for r in range(2)]
         for t in threads:
             t.start()

@@ -84,7 +84,8 @@ def test_concurrent_disjoint_writes():
     def writer(i):
         h.pwrite(i * span, bytes([i]) * span)
 
-    threads = [threading.Thread(target=writer, args=(i,)) for i in range(n)]
+    threads = [threading.Thread(target=writer, args=(i,))  # noqa: ANL003
+               for i in range(n)]
     for t in threads:
         t.start()
     for t in threads:
